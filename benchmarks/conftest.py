@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper.  Durations
+default to a short window so the whole harness runs in minutes; set
+``REPRO_BENCH_DURATION`` (seconds) for paper-length (180 s) runs.
+"""
+
+import os
+
+import pytest
+
+DEFAULT_DURATION = 60.0
+
+
+@pytest.fixture(scope="session")
+def bench_duration() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", DEFAULT_DURATION))
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", 1))

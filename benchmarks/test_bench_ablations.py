@@ -1,0 +1,67 @@
+"""Ablation benchmarks (DESIGN.md §7): Converge component analysis.
+
+Beyond the paper's own tables, these ablations isolate each Converge
+component on the driving scenario: the QoE feedback loop, the FEC
+controller choice, and NACK-based recovery.
+"""
+
+from repro.core.config import FecMode, SystemKind
+from repro.experiments.common import run_system, scenario_paths
+from repro.metrics.report import format_table
+
+
+def _row(label, summary):
+    return [
+        label,
+        summary.average_fps,
+        summary.throughput_bps / 1e6,
+        summary.e2e_mean,
+        summary.frame_drops,
+        summary.keyframe_requests,
+        100 * summary.fec_overhead,
+        summary.freeze.total_duration,
+    ]
+
+
+def test_bench_component_ablation(benchmark, bench_duration, bench_seed):
+    paths = scenario_paths("driving", bench_duration, bench_seed)
+
+    def run_all():
+        arms = [
+            ("converge-full", {}),
+            ("no-feedback", {"qoe_feedback_enabled": False}),
+            ("table-fec", {"fec_mode": FecMode.WEBRTC_TABLE}),
+            ("no-fec", {"fec_mode": FecMode.NONE}),
+            ("no-nack", {"nack_enabled": False}),
+        ]
+        results = {}
+        for label, kwargs in arms:
+            results[label] = run_system(
+                SystemKind.CONVERGE,
+                paths,
+                duration=bench_duration,
+                seed=bench_seed,
+                label=label,
+                **kwargs,
+            ).summary
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["arm", "FPS", "tput Mbps", "E2E s", "drops", "kfr", "FEC oh %", "freeze s"],
+            [_row(label, s) for label, s in results.items()],
+        )
+    )
+    full = results["converge-full"]
+    # Removing NACK must hurt: retransmission is a load-bearing
+    # recovery mechanism.
+    assert results["no-nack"].frame_drops >= full.frame_drops
+    # Removing FEC entirely should not *improve* frame delivery.
+    assert results["no-fec"].frame_drops >= full.frame_drops * 0.8
+    # Removing the QoE feedback loop should not improve delivery
+    # (Table 4's direction, at realistic-trace scale).
+    assert results["no-feedback"].frame_drops >= full.frame_drops * 0.85
+    # The table FEC burns far more overhead than the path-specific one.
+    assert results["table-fec"].fec_overhead > 2 * full.fec_overhead

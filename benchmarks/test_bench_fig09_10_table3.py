@@ -1,0 +1,64 @@
+"""Benchmark: regenerate Figures 9-10 + Table 3 (in the wild)."""
+
+from repro.experiments import fig09_10_wild as wild
+from repro.metrics.report import format_table
+
+
+def _print(rows):
+    print()
+    print(
+        format_table(
+            ["#", "system", "tput Mbps", "FPS", "E2E s", "stall s", "FEC oh %", "FEC util %"],
+            [
+                [r.num_streams, r.system, r.throughput_bps / 1e6, r.mean_fps,
+                 r.e2e_mean, r.stall_seconds, 100 * r.fec_overhead,
+                 100 * r.fec_utilization]
+                for r in rows
+            ],
+        )
+    )
+
+
+def test_bench_fig09_walking(benchmark, bench_duration, bench_seed):
+    result = benchmark.pedantic(
+        lambda: wild.run(
+            scenario="walking",
+            duration=bench_duration,
+            seed=bench_seed,
+            stream_counts=(1, 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(result.rows)
+    converge = [r for r in result.rows if r.system == "converge"]
+    singles = [r for r in result.rows if r.system != "converge"]
+    # Fig. 9/10 shape: bonding both networks beats each single network
+    # on delivered throughput at every stream count.
+    for c in converge:
+        peers = [r for r in singles if r.num_streams == c.num_streams]
+        assert c.throughput_bps > 0.9 * max(p.throughput_bps for p in peers)
+
+
+def test_bench_fig10_table3_driving(benchmark, bench_duration, bench_seed):
+    result = benchmark.pedantic(
+        lambda: wild.run(
+            scenario="driving",
+            duration=bench_duration,
+            seed=bench_seed,
+            stream_counts=(1, 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _print(result.rows)
+    converge = [r for r in result.rows if r.system == "converge"]
+    singles = [r for r in result.rows if r.system != "converge"]
+    # Table 3 shape: Converge's FEC overhead is below the single-path
+    # WebRTC table overhead, with better utilization.
+    assert max(c.fec_overhead for c in converge) < max(
+        s.fec_overhead for s in singles
+    )
+    for c in converge:
+        peers = [r for r in singles if r.num_streams == c.num_streams]
+        assert c.throughput_bps > 0.9 * max(p.throughput_bps for p in peers)

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figures 14-15 (comparison with existing solutions)."""
+
+from repro.experiments import fig14_15_comparison as comparison
+from repro.metrics.report import format_table
+
+
+def test_bench_fig14_15(benchmark, bench_duration, bench_seed):
+    result = benchmark.pedantic(
+        lambda: comparison.run(duration=bench_duration, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["system", "tput Mbps", "FPS", "QP", "FEC oh %", "FEC util %",
+             "E2E s", "PSNR dB"],
+            [
+                [r.system, r.throughput_bps / 1e6, r.mean_fps, r.qp,
+                 100 * r.fec_overhead, 100 * r.fec_utilization,
+                 r.e2e_mean, r.psnr_mean]
+                for r in result.rows
+            ],
+        )
+    )
+    rows = result.by_system()
+    converge = rows["converge"]
+    # Fig. 14(a): Converge delivers the highest media throughput and
+    # the best (lowest) QP.
+    for name, row in rows.items():
+        if name == "converge":
+            continue
+        assert converge.throughput_bps >= row.throughput_bps * 0.95, name
+        assert converge.qp <= row.qp + 1.0, name
+    # Fig. 14(b): Converge's FEC overhead is the smallest.
+    assert converge.fec_overhead == min(r.fec_overhead for r in result.rows)
+    # Fig. 15: Converge's PSNR is at the top of the multipath field —
+    # clearly above the field's average and within seed noise of the
+    # single best alternative.
+    multipath = ("srtt", "m-tput", "m-rtp")
+    field_mean = sum(rows[n].psnr_mean for n in multipath) / len(multipath)
+    assert converge.psnr_mean > field_mean
+    assert converge.psnr_mean >= max(rows[n].psnr_mean for n in multipath) - 2.0

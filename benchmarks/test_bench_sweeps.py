@@ -1,0 +1,42 @@
+"""Benchmark: design-parameter sweeps (DESIGN.md §7)."""
+
+from repro.experiments import sweeps
+from repro.metrics.report import format_table
+
+
+def test_bench_design_sweeps(benchmark, bench_seed):
+    duration = 40.0
+
+    def run_all():
+        return {
+            "packet_buffer": sweeps.sweep_packet_buffer(duration, bench_seed),
+            "playout_deadline": sweeps.sweep_playout_deadline(
+                duration, bench_seed
+            ),
+            "loss_model": sweeps.sweep_loss_model(duration, bench_seed),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for name, points in results.items():
+        print(
+            format_table(
+                [name, "FPS", "E2E ms", "drops", "freeze s"],
+                [
+                    [p.value, p.fps, 1000 * p.e2e_mean, p.frame_drops,
+                     p.freeze_total]
+                    for p in points
+                ],
+            )
+        )
+        print()
+
+    buffers = results["packet_buffer"]
+    # A starved packet buffer must hurt: the smallest capacity drops
+    # at least as many frames as the WebRTC-sized one.
+    assert buffers[0].frame_drops >= buffers[-1].frame_drops
+    deadlines = results["playout_deadline"]
+    # Loosening the deadline monotonically raises (or keeps) E2E p95
+    # pressure; at minimum the tightest deadline must not have the
+    # highest latency.
+    assert deadlines[0].e2e_mean <= deadlines[-1].e2e_mean + 0.05

@@ -1,0 +1,12 @@
+"""Setup shim for legacy editable installs.
+
+The sandbox this reproduction targets has setuptools but no ``wheel``
+package, so PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  Keeping a setup.py lets ``pip install -e .
+--no-build-isolation`` fall back to the legacy develop path.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

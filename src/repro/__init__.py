@@ -1,0 +1,42 @@
+"""repro — a reproduction of Converge (SIGCOMM 2023).
+
+Converge: QoE-driven Multipath Video Conferencing over WebRTC.
+
+The package provides a discrete-event reproduction of the full system:
+the WebRTC media pipeline (GCC congestion control, encoder/packetizer,
+bounded receive buffers, NACK/PLI, XOR FEC), the Converge extensions
+(video-aware scheduler, QoE feedback, path-specific FEC), the baseline
+multipath schedulers the paper compares against, the Appendix-D
+network scenarios, and one experiment module per table/figure of the
+evaluation.
+
+Quickstart::
+
+    from repro import SystemKind, build_call_config, run_call
+    from repro.experiments.common import scenario_paths
+
+    config = build_call_config(SystemKind.CONVERGE, duration=30.0)
+    paths = scenario_paths("driving", duration=30.0, seed=1)
+    result = run_call(config, paths)
+    print(result.summary.average_fps, result.summary.e2e_mean)
+"""
+
+from repro.core.api import build_call_config, build_scheduler, run_call
+from repro.core.config import CallConfig, FecMode, SystemKind
+from repro.core.session import CallResult, ConferenceCall
+from repro.metrics.qoe import QoeSummary, summarize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CallConfig",
+    "CallResult",
+    "ConferenceCall",
+    "FecMode",
+    "QoeSummary",
+    "SystemKind",
+    "build_call_config",
+    "build_scheduler",
+    "run_call",
+    "summarize",
+]

@@ -1,0 +1,83 @@
+"""JSON export of call results for external post-processing."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.session import CallResult
+
+
+def result_to_dict(result: CallResult) -> Dict[str, Any]:
+    """Flatten a :class:`CallResult` into JSON-serializable data.
+
+    Includes the full QoE summary, the time series the experiments
+    plot, and per-path send accounting — everything needed to redraw
+    the paper's figures outside this package.
+    """
+    summary = result.summary
+    metrics = result.metrics
+    return {
+        "label": result.label,
+        "config": {
+            "system": result.config.system.value,
+            "fec_mode": result.config.fec_mode.value,
+            "duration": result.config.duration,
+            "num_streams": result.config.num_streams,
+            "seed": result.config.seed,
+            "qoe_feedback_enabled": result.config.qoe_feedback_enabled,
+        },
+        "summary": {
+            "frames_rendered": summary.frames_rendered,
+            "average_fps": summary.average_fps,
+            "throughput_bps": summary.throughput_bps,
+            "e2e_mean": summary.e2e_mean,
+            "e2e_std": summary.e2e_std,
+            "e2e_p95": summary.e2e_p95,
+            "freeze_count": summary.freeze.count,
+            "freeze_total": summary.freeze.total_duration,
+            "average_qp": summary.average_qp,
+            "average_psnr": summary.average_psnr,
+            "fec_overhead": summary.fec_overhead,
+            "fec_utilization": summary.fec_utilization,
+            "frame_drops": summary.frame_drops,
+            "keyframe_requests": summary.keyframe_requests,
+        },
+        "series": {
+            "receive_rate": _series(metrics.receive_rate_series),
+            "target_rate": _series(metrics.target_rate_series),
+            "ifd": _series(metrics.ifd_series),
+            "fcd": _series(metrics.fcd_series),
+            "path_rates": {
+                str(path_id): _series(series)
+                for path_id, series in metrics.path_rate_series.items()
+            },
+        },
+        "paths": {
+            str(path_id): {
+                "media_packets": record.media_packets,
+                "media_bytes": record.media_bytes,
+                "fec_packets": record.fec_packets,
+                "fec_bytes": record.fec_bytes,
+                "rtx_packets": record.rtx_packets,
+                "rtx_bytes": record.rtx_bytes,
+            }
+            for path_id, record in metrics.path_sends.items()
+        },
+        "events": {
+            "keyframe_requests": metrics.keyframe_requests,
+            "feedback": metrics.feedback_events,
+        },
+    }
+
+
+def _series(series) -> Dict[str, list]:
+    return {"times": list(series.times), "values": list(series.values)}
+
+
+def save_result_json(result: CallResult, path: Union[str, Path]) -> Path:
+    """Write ``result`` to ``path`` as JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(result_to_dict(result), indent=2))
+    return target

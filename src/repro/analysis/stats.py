@@ -1,0 +1,106 @@
+"""Statistics over experiment series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Empirical percentile with linear interpolation, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100]: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / min / p50 / p95 / max of a sample."""
+    if not values:
+        raise ValueError("describe of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "n": float(n),
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": min(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "max": max(values),
+    }
+
+
+def rolling_mean(
+    samples: Sequence[Tuple[float, float]], window: float
+) -> List[Tuple[float, float]]:
+    """Trailing-window mean over ``(time, value)`` samples.
+
+    Each output point is the mean of input values whose timestamps fall
+    within ``(t - window, t]``.  Used to smooth FPS/rate series before
+    plotting, like the paper's per-second aggregation.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    out: List[Tuple[float, float]] = []
+    start = 0
+    acc = 0.0
+    count = 0
+    times = [t for t, _ in samples]
+    values = [v for _, v in samples]
+    for i, t in enumerate(times):
+        acc += values[i]
+        count += 1
+        while times[start] <= t - window:
+            acc -= values[start]
+            count -= 1
+            start += 1
+        out.append((t, acc / count))
+    return out
+
+
+@dataclass
+class Cdf:
+    """Empirical cumulative distribution of a sample."""
+
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("CDF of empty sample")
+        self.values = sorted(self.values)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        import bisect
+
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def inverse(self, p: float) -> float:
+        """The smallest x with P(X <= x) >= p."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1]: {p}")
+        index = max(int(math.ceil(p * len(self.values))) - 1, 0)
+        return self.values[index]
+
+    def points(self, num: int = 50) -> List[Tuple[float, float]]:
+        """``num`` evenly spaced (x, P(X<=x)) points for plotting."""
+        if num < 2:
+            raise ValueError("need at least two points")
+        lo, hi = self.values[0], self.values[-1]
+        if lo == hi:
+            return [(lo, 1.0)]
+        step = (hi - lo) / (num - 1)
+        return [(lo + i * step, self.at(lo + i * step)) for i in range(num)]

@@ -1,0 +1,24 @@
+"""Google Congestion Control (GCC), one uncoupled instance per path.
+
+Implements the architecture of Carlucci et al. [6]: a delay-based
+controller (inter-arrival trendline estimator + adaptive-threshold
+overuse detector + AIMD rate controller) combined with a loss-based
+controller; the sender uses the minimum of the two rates.  Converge
+runs one independent ("uncoupled", §4.1) instance per network path and
+sums the per-path rates into the encoder target.
+"""
+
+from repro.cc.aimd import AimdRateController, BandwidthUsage
+from repro.cc.delay_based import OveruseDetector, TrendlineEstimator
+from repro.cc.loss_based import LossBasedController
+from repro.cc.gcc import GccConfig, GoogleCongestionControl
+
+__all__ = [
+    "AimdRateController",
+    "BandwidthUsage",
+    "GccConfig",
+    "GoogleCongestionControl",
+    "LossBasedController",
+    "OveruseDetector",
+    "TrendlineEstimator",
+]

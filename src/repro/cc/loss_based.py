@@ -1,0 +1,35 @@
+"""Loss-based branch of GCC.
+
+Per the GCC design [6]: loss above 10% backs the rate off
+proportionally, loss below 2% probes upward by 5% per report, anything
+in between holds.
+"""
+
+from __future__ import annotations
+
+
+class LossBasedController:
+    """Rate controller driven by RTCP fraction-lost reports."""
+
+    def __init__(
+        self,
+        initial_rate: float,
+        min_rate: float = 100_000.0,
+        max_rate: float = 30_000_000.0,
+    ) -> None:
+        if initial_rate <= 0:
+            raise ValueError("initial rate must be positive")
+        self.rate = min(max(initial_rate, min_rate), max_rate)
+        self.min_rate = min_rate
+        self.max_rate = max_rate
+
+    def update(self, fraction_lost: float) -> float:
+        """Apply one loss report and return the new rate."""
+        if not 0.0 <= fraction_lost <= 1.0:
+            raise ValueError(f"fraction lost out of range: {fraction_lost}")
+        if fraction_lost > 0.10:
+            self.rate *= 1.0 - 0.5 * fraction_lost
+        elif fraction_lost < 0.02:
+            self.rate *= 1.05
+        self.rate = min(max(self.rate, self.min_rate), self.max_rate)
+        return self.rate

@@ -1,0 +1,69 @@
+"""Per-path pacer.
+
+WebRTC never dumps a whole encoded frame onto the wire at once; the
+pacer smooths each burst out at a multiple of the target rate so the
+delay-based estimator sees queue growth caused by the *network*, not by
+the sender's own bursts.  We implement the same idea per path: packets
+are queued and released at ``pacing_factor * path_rate``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict
+
+from repro.simulation.simulator import Simulator
+
+# Real WebRTC paces at 2.5x target, but its trendline copes with the
+# resulting sawtooth micro-queues better than a least-squares fit on a
+# simulated clean link does; 1.5x keeps the delay-based estimator's
+# operating point near capacity while still draining frame bursts well
+# within a frame interval.
+_DEFAULT_PACING_FACTOR = 1.5
+_MIN_PACING_RATE = 300_000.0
+
+
+class Pacer:
+    """Releases queued packets per path at a paced rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_fn: Callable[[object, int], None],
+        pacing_factor: float = _DEFAULT_PACING_FACTOR,
+    ) -> None:
+        self.sim = sim
+        self._send_fn = send_fn
+        self.pacing_factor = pacing_factor
+        self._queues: Dict[int, Deque[object]] = {}
+        self._rates: Dict[int, float] = {}
+        self._draining: Dict[int, bool] = {}
+
+    def set_path_rate(self, path_id: int, rate_bps: float) -> None:
+        """Update the target rate the pacer multiplies for ``path_id``."""
+        self._rates[path_id] = max(rate_bps, 0.0)
+
+    def enqueue(self, packet, path_id: int) -> None:
+        """Queue ``packet`` for paced transmission on ``path_id``."""
+        queue = self._queues.setdefault(path_id, deque())
+        queue.append(packet)
+        if not self._draining.get(path_id, False):
+            self._draining[path_id] = True
+            self.sim.schedule(0.0, lambda: self._drain(path_id))
+
+    def _drain(self, path_id: int) -> None:
+        queue = self._queues.get(path_id)
+        if not queue:
+            self._draining[path_id] = False
+            return
+        packet = queue.popleft()
+        self._send_fn(packet, path_id)
+        pacing_rate = max(
+            self._rates.get(path_id, 0.0) * self.pacing_factor,
+            _MIN_PACING_RATE,
+        )
+        gap = packet.size_bytes * 8 / pacing_rate
+        self.sim.schedule(gap, lambda: self._drain(path_id))
+
+    def queued_packets(self, path_id: int) -> int:
+        return len(self._queues.get(path_id, ()))

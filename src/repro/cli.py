@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run --system converge --scenario driving --duration 30
+    python -m repro compare --scenario walking --duration 30
+    python -m repro experiment fig12 --duration 60
+    python -m repro list
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.plots import render_series, sparkline
+from repro.analysis.export import save_result_json
+from repro.core.config import FecMode, SystemKind
+from repro.experiments import (
+    fig01_motivation,
+    fig03_multipath_not_enough,
+    fig09_10_wild,
+    fig11_feedback,
+    fig12_13_fec,
+    fig14_15_comparison,
+    fig16_17_stationary,
+    traces_appendix,
+)
+from repro.experiments.common import run_system, scenario_paths
+from repro.metrics.report import format_table
+from repro.traces.scenarios import scenario_networks
+
+EXPERIMENTS = {
+    "fig01": fig01_motivation,
+    "fig03": fig03_multipath_not_enough,
+    "fig09": fig09_10_wild,
+    "fig11": fig11_feedback,
+    "fig12": fig12_13_fec,
+    "fig14": fig14_15_comparison,
+    "fig16": fig16_17_stationary,
+    "traces": traces_appendix,
+}
+
+SCENARIOS = ("stationary", "walking", "driving")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Converge: QoE-driven Multipath Video "
+            "Conferencing over WebRTC (SIGCOMM 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulated call")
+    run_parser.add_argument(
+        "--system",
+        choices=[s.value for s in SystemKind],
+        default=SystemKind.CONVERGE.value,
+    )
+    run_parser.add_argument("--scenario", choices=SCENARIOS, default="driving")
+    run_parser.add_argument("--duration", type=float, default=30.0)
+    run_parser.add_argument("--streams", type=int, default=1)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument(
+        "--fec", choices=[m.value for m in FecMode], default=None,
+        help="override the system's default FEC mode",
+    )
+    run_parser.add_argument(
+        "--no-feedback", action="store_true",
+        help="disable the QoE feedback loop (ablation)",
+    )
+    run_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full result (summary + series) as JSON",
+    )
+    run_parser.add_argument(
+        "--plot", action="store_true", help="render terminal charts"
+    )
+
+    compare_parser = sub.add_parser(
+        "compare", help="run every system on one scenario"
+    )
+    compare_parser.add_argument(
+        "--scenario", choices=SCENARIOS, default="driving"
+    )
+    compare_parser.add_argument("--duration", type=float, default=30.0)
+    compare_parser.add_argument("--streams", type=int, default=1)
+    compare_parser.add_argument("--seed", type=int, default=1)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment_parser.add_argument("--duration", type=float, default=60.0)
+    experiment_parser.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list systems, scenarios, experiments")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.fec is not None:
+        kwargs["fec_mode"] = FecMode(args.fec)
+    if args.no_feedback:
+        kwargs["qoe_feedback_enabled"] = False
+    paths = scenario_paths(args.scenario, args.duration, args.seed)
+    result = run_system(
+        SystemKind(args.system),
+        paths,
+        duration=args.duration,
+        num_streams=args.streams,
+        seed=args.seed,
+        **kwargs,
+    )
+    summary = result.summary
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["system", result.label],
+                ["scenario", args.scenario],
+                ["frames rendered", summary.frames_rendered],
+                ["average FPS", summary.average_fps],
+                ["throughput (Mbps)", summary.throughput_bps / 1e6],
+                ["E2E mean (ms)", 1000 * summary.e2e_mean],
+                ["E2E p95 (ms)", 1000 * summary.e2e_p95],
+                ["freeze total (s)", summary.freeze.total_duration],
+                ["QP", summary.average_qp],
+                ["PSNR (dB)", summary.average_psnr],
+                ["FEC overhead (%)", 100 * summary.fec_overhead],
+                ["FEC utilization (%)", 100 * summary.fec_utilization],
+                ["frame drops", summary.frame_drops],
+                ["keyframe requests", summary.keyframe_requests],
+            ],
+        )
+    )
+    if args.plot:
+        rate = result.metrics.receive_rate_series
+        if len(rate):
+            print()
+            print(
+                render_series(
+                    list(zip(rate.times, [v / 1e6 for v in rate.values])),
+                    title="received rate (Mbps)",
+                )
+            )
+        fps = result.metrics.fps_series(args.duration)
+        print()
+        print(f"FPS      {sparkline(fps.values, width=72)}")
+    if args.json:
+        target = save_result_json(result, args.json)
+        print(f"\nwrote {target}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    paths = scenario_paths(args.scenario, args.duration, args.seed)
+    rows = []
+    for system in SystemKind:
+        result = run_system(
+            system,
+            paths,
+            duration=args.duration,
+            num_streams=args.streams,
+            seed=args.seed,
+        )
+        s = result.summary
+        rows.append(
+            [
+                result.label,
+                s.throughput_bps / 1e6,
+                s.average_fps,
+                1000 * s.e2e_mean,
+                s.freeze.total_duration,
+                s.average_qp,
+                100 * s.fec_overhead,
+                s.frame_drops,
+            ]
+        )
+    print(
+        format_table(
+            ["system", "tput Mbps", "FPS", "E2E ms", "freeze s", "QP",
+             "FEC oh %", "drops"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = EXPERIMENTS[args.name]
+    module.main(duration=args.duration, seed=args.seed)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("systems    :", ", ".join(s.value for s in SystemKind))
+    print("scenarios  :", ", ".join(
+        f"{s} ({'+'.join(scenario_networks(s))})" for s in SCENARIOS
+    ))
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

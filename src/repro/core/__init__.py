@@ -1,0 +1,32 @@
+"""Converge conference core: sender, receiver wiring, call orchestration.
+
+The public entry points are :func:`repro.core.api.run_call` and the
+:class:`repro.core.session.ConferenceCall` it drives; the system
+variants of the paper's evaluation (Converge, WebRTC single-path,
+WebRTC-CM, SRTT, M-TPUT, M-RTP) are built by
+:func:`repro.core.api.build_call_config`.
+"""
+
+from repro.core.config import CallConfig, FecMode, SystemKind
+from repro.core.session import CallResult, ConferenceCall
+from repro.core.api import build_call_config, run_call
+from repro.core.signaling import (
+    IceAgent,
+    SdpAnswer,
+    SdpOffer,
+    negotiate_multipath,
+)
+
+__all__ = [
+    "CallConfig",
+    "CallResult",
+    "ConferenceCall",
+    "FecMode",
+    "IceAgent",
+    "SdpAnswer",
+    "SdpOffer",
+    "SystemKind",
+    "build_call_config",
+    "negotiate_multipath",
+    "run_call",
+]

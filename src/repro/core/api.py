@@ -1,0 +1,94 @@
+"""High-level public API: build and run conference calls."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.config import CallConfig, FecMode, SystemKind
+from repro.core.session import CallResult, ConferenceCall
+from repro.net.path import PathConfig
+from repro.scheduling import (
+    ConnectionMigrationScheduler,
+    ConvergeScheduler,
+    MinRttScheduler,
+    MprtpScheduler,
+    Scheduler,
+    SinglePathScheduler,
+    ThroughputScheduler,
+)
+
+
+def build_scheduler(config: CallConfig) -> Scheduler:
+    """Instantiate the scheduler matching ``config.system``."""
+    system = config.system
+    if system is SystemKind.CONVERGE:
+        return ConvergeScheduler()
+    if system is SystemKind.WEBRTC:
+        return SinglePathScheduler(config.single_path_id)
+    if system is SystemKind.WEBRTC_CM:
+        return ConnectionMigrationScheduler(config.single_path_id)
+    if system is SystemKind.SRTT:
+        return MinRttScheduler()
+    if system is SystemKind.MTPUT:
+        return ThroughputScheduler()
+    if system is SystemKind.MRTP:
+        return MprtpScheduler()
+    raise ValueError(f"unknown system: {system}")
+
+
+def build_call_config(
+    system: SystemKind,
+    duration: float = 60.0,
+    num_streams: int = 1,
+    seed: int = 1,
+    single_path_id: int = 0,
+    qoe_feedback_enabled: Optional[bool] = None,
+    fec_mode: Optional[FecMode] = None,
+    label: Optional[str] = None,
+    **kwargs,
+) -> CallConfig:
+    """A :class:`CallConfig` with the paper's per-system defaults.
+
+    Converge gets path-specific FEC and QoE feedback; every other
+    system gets WebRTC's table FEC and no QoE feedback — matching the
+    baseline setups of §5 ("all of these variants utilize WebRTC's
+    default FEC module and lack video-aware prioritization").
+    """
+    if fec_mode is None:
+        fec_mode = (
+            FecMode.CONVERGE
+            if system is SystemKind.CONVERGE
+            else FecMode.WEBRTC_TABLE
+        )
+    if qoe_feedback_enabled is None:
+        qoe_feedback_enabled = system is SystemKind.CONVERGE
+    kwargs.setdefault(
+        "encoder_utilization",
+        0.85 if system is SystemKind.CONVERGE else 0.97,
+    )
+    return CallConfig(
+        system=system,
+        fec_mode=fec_mode,
+        duration=duration,
+        num_streams=num_streams,
+        seed=seed,
+        single_path_id=single_path_id,
+        qoe_feedback_enabled=qoe_feedback_enabled,
+        label=label,
+        **kwargs,
+    )
+
+
+def run_call(
+    config: CallConfig,
+    path_configs: Sequence[PathConfig],
+    scheduler: Optional[Scheduler] = None,
+) -> CallResult:
+    """Run one simulated conference call and return its QoE result."""
+    paths: List[PathConfig] = list(path_configs)
+    if not paths:
+        raise ValueError("a call needs at least one path")
+    if scheduler is None:
+        scheduler = build_scheduler(config)
+    call = ConferenceCall(config, paths, scheduler)
+    return call.run()

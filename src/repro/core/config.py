@@ -1,0 +1,82 @@
+"""Call configuration shared by sender, receiver and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.cc.gcc import GccConfig
+from repro.receiver.session import ReceiverConfig
+from repro.video.encoder import EncoderConfig
+
+
+class SystemKind(Enum):
+    """The systems compared in the paper's evaluation."""
+
+    CONVERGE = "converge"
+    WEBRTC = "webrtc"  # single path
+    WEBRTC_CM = "webrtc-cm"  # single path with connection migration
+    SRTT = "srtt"  # minRTT multipath
+    MTPUT = "m-tput"  # Musher throughput multipath
+    MRTP = "m-rtp"  # MPRTP multipath
+
+
+class FecMode(Enum):
+    """Which FEC controller protects the media."""
+
+    CONVERGE = "converge"  # path-specific, beta-adaptive (§4.3)
+    WEBRTC_TABLE = "webrtc-table"  # static table, application-level
+    NONE = "none"
+
+
+@dataclass
+class CallConfig:
+    """Everything needed to run one simulated conference call."""
+
+    system: SystemKind = SystemKind.CONVERGE
+    fec_mode: FecMode = FecMode.CONVERGE
+    duration: float = 60.0
+    num_streams: int = 1
+    frame_rate: float = 30.0
+    max_rate_per_stream: float = 10_000_000.0
+    seed: int = 1
+    # Which path single-path systems pin to.
+    single_path_id: int = 0
+    # Ablation switches (Fig. 11 / Table 4 run Converge without the
+    # QoE feedback loop).
+    qoe_feedback_enabled: bool = True
+    nack_enabled: bool = True
+    receiver: ReceiverConfig = field(default_factory=ReceiverConfig)
+    encoder_template: EncoderConfig = field(default_factory=EncoderConfig)
+    gcc: GccConfig = field(default_factory=GccConfig)
+    # FEC grouping: at most this many media packets per XOR group.
+    fec_group_size: int = 10
+    # Fraction of the (FEC-discounted) transport budget the encoder
+    # may use.  Converge runs with headroom: QoE-driven means trading
+    # a little raw rate for far fewer late frames under fades.
+    encoder_utilization: float = 0.97
+    # Interval for time-series sampling in the metrics collector.
+    sample_interval: float = 0.5
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.num_streams < 1:
+            raise ValueError("need at least one stream")
+        if self.fec_group_size < 2:
+            raise ValueError("FEC group size must be at least 2")
+        self.receiver.qoe_feedback_enabled = self.qoe_feedback_enabled
+        self.receiver.nack_enabled = self.nack_enabled
+        if self.label is None:
+            self.label = self.system.value
+
+    @property
+    def is_multipath(self) -> bool:
+        return self.system in (
+            SystemKind.CONVERGE,
+            SystemKind.SRTT,
+            SystemKind.MTPUT,
+            SystemKind.MRTP,
+        )

@@ -1,0 +1,437 @@
+"""Sender-side per-path state: GCC, Eq. 2 budgets, disable/re-enable.
+
+The path manager owns, per path:
+
+- one uncoupled GCC instance fed by transport feedback and receiver
+  reports,
+- the multipath sequence counters (``mp_seq`` / ``mp_transport_seq``)
+  bound into each packet's header extension,
+- the Eq. 2 feedback adjustment ``alpha`` accumulated from QoE
+  feedback, with slow decay so a penalized path can earn traffic back,
+- the disable logic (budget reaches zero) and the Eq. 3 re-enable
+  check ``(rtt_fast - rtt_i)/2 <= FCD`` driven by probe duplicates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cc.gcc import GccConfig, GoogleCongestionControl
+from repro.net.multipath import PathSet
+from repro.rtp.packets import RtpPacket
+from repro.rtp.rtcp import QoeFeedback, ReceiverReport, TransportFeedback
+from repro.rtp.sequence import SEQ_MOD
+from repro.scheduling.base import PathSnapshot
+from repro.simulation.process import PeriodicProcess
+from repro.simulation.simulator import Simulator
+
+# How far behind the newest acked transport seq a recorded send must be
+# before we declare it lost (tolerates delivery jitter reordering).
+_LOSS_REORDER_MARGIN = 3
+_ADJUST_DECAY_INTERVAL = 1.0
+_ADJUST_DECAY_FACTOR = 0.9
+_ADJUST_LIMIT = 200
+_PROBE_INTERVAL = 0.2
+# Last-resort re-enable when probe evidence never materializes; the
+# normal path back is Eq. 3 (probe RTT recovering toward the fast
+# path's).  Re-enabling blindly mid-fade feeds frames to a dead link,
+# so consecutive blind re-enables back off exponentially.
+_PROBE_FALLBACK_REENABLE = 10.0
+_PROBE_FALLBACK_MAX = 60.0
+# A path that has carried packets but produced no feedback for this
+# long is dead (total blackout produces no "late packets" for the QoE
+# feedback to report — the sender must notice the silence itself).
+_FEEDBACK_SILENCE_TIMEOUT = 1.5
+_BUDGET_HEADROOM = 1.25
+# How strongly the Eq. 1 media split is discounted by per-path loss.
+_LOSS_AVERSION = 4.0
+
+
+@dataclass
+class _PathState:
+    gcc: GoogleCongestionControl
+    next_mp_seq: int = 0
+    next_transport_seq: int = 0
+    sent: Dict[int, Tuple[float, int]] = field(default_factory=dict)
+    highest_acked_tseq: int = -1
+    adjust: float = 0.0
+    zero_budget_rounds: int = 0
+    # Fractional packet carry so a path whose Eq. 1 share is below one
+    # packet per round still receives its long-run proportion (without
+    # this, integer rounding starves the path and its GCC estimate can
+    # never grow — the multipath bootstrap deadlock).
+    share_carry: float = 0.0
+    enabled: bool = True
+    disabled_at: float = -1.0
+    last_feedback_time: float = -1.0
+    last_probe_time: float = -1.0
+    # Exponential backoff for blind re-enables of a silent path.
+    reenable_backoff: float = _PROBE_FALLBACK_REENABLE
+    last_send_time: float = -1.0
+    # Media sends only (padding probes excluded): paths that carry no
+    # media are not capacity-probed, or an unused path's inflated
+    # estimate would leak into the encoder budget.
+    last_media_send_time: float = -1.0
+
+
+class PathManager:
+    """Aggregates sender-side state across all paths of one call."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: PathSet,
+        gcc_config: GccConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.paths = paths
+        self._states: Dict[int, _PathState] = {
+            pid: _PathState(gcc=GoogleCongestionControl(pid, gcc_config))
+            for pid in paths.path_ids
+        }
+        self.last_fcd: float = 0.0
+        self._decay_process = PeriodicProcess(
+            sim, _ADJUST_DECAY_INTERVAL, self._decay_adjustments
+        )
+        # The most recent packet bound per path, used as probe material.
+        self._last_bound: Optional[RtpPacket] = None
+
+    # -- packet binding ----------------------------------------------------
+
+    def bind(self, packet: RtpPacket, path_id: int, now: float) -> RtpPacket:
+        """Assign multipath header fields and record the send."""
+        state = self._states[path_id]
+        packet.path_id = path_id
+        packet.mp_seq = state.next_mp_seq
+        packet.mp_transport_seq = state.next_transport_seq
+        packet.send_time = now
+        state.next_mp_seq = (state.next_mp_seq + 1) % SEQ_MOD
+        state.next_transport_seq += 1
+        state.sent[packet.mp_transport_seq] = (now, packet.size_bytes)
+        state.last_send_time = now
+        if packet.ssrc != 0:
+            state.last_media_send_time = now
+        self._last_bound = packet
+        return packet
+
+    def make_probe(self, path_id: int, now: float) -> Optional[RtpPacket]:
+        """Duplicate the most recent packet as a probe for ``path_id``.
+
+        §4.2: probing a disabled path with duplicates lets GCC keep
+        measuring its RTT/loss without risking media on it; the
+        receiver's packet buffer discards the duplicate.
+        """
+        if self._last_bound is None:
+            return None
+        probe = dataclasses.replace(self._last_bound)
+        return self.bind(probe, path_id, now)
+
+    # -- feedback handling -----------------------------------------------------
+
+    def on_transport_feedback(self, message: TransportFeedback) -> None:
+        state = self._states.get(message.path_id)
+        if state is None:
+            return
+        now = self.sim.now
+        state.last_feedback_time = now
+        acked: List[Tuple[float, float, int]] = []
+        max_tseq = state.highest_acked_tseq
+        for tseq, arrival in message.packets:
+            record = state.sent.pop(tseq, None)
+            if record is None:
+                continue
+            send_time, size = record
+            acked.append((send_time, arrival, size))
+            max_tseq = max(max_tseq, tseq)
+        state.highest_acked_tseq = max_tseq
+        lost = self._collect_losses(state, now)
+        acked.sort(key=lambda item: item[1])
+        state.gcc.on_transport_feedback(acked, lost, now)
+
+    def _collect_losses(self, state: _PathState, now: float) -> int:
+        threshold = state.highest_acked_tseq - _LOSS_REORDER_MARGIN
+        stale = [
+            tseq
+            for tseq, (send_time, _) in state.sent.items()
+            if tseq < threshold and now - send_time > state.gcc.srtt
+        ]
+        for tseq in stale:
+            del state.sent[tseq]
+        return len(stale)
+
+    def on_receiver_report(self, message: ReceiverReport) -> None:
+        state = self._states.get(message.path_id)
+        if state is None:
+            return
+        state.last_feedback_time = self.sim.now
+        state.gcc.on_receiver_report(message.fraction_lost, self.sim.now)
+
+    def on_qoe_feedback(self, message: QoeFeedback) -> None:
+        """Apply Eq. 2: shift the path's packet budget by ``alpha``.
+
+        Positive feedback only *restores* a previously penalized path
+        (Eq. 2 caps the budget at ``P_max`` anyway); letting it push a
+        path above its Eq. 1 share would grow exposure on a path whose
+        only credential is having been early once.
+        """
+        state = self._states.get(message.path_id)
+        if state is None:
+            return
+        if message.alpha >= 0:
+            state.adjust = min(state.adjust + message.alpha, 0.0)
+        else:
+            state.adjust = max(state.adjust + message.alpha, -_ADJUST_LIMIT)
+        self.last_fcd = message.fcd
+
+    # -- budgets / snapshots ------------------------------------------------------
+
+    def snapshots(
+        self, num_media_packets: int, avg_packet_size: int, now: float
+    ) -> List[PathSnapshot]:
+        """Per-path scheduling snapshots for one round (one frame)."""
+        self._update_enablement(now)
+        states = self._states
+        # §4.3: "if there is a path with a higher loss rate, we reduce
+        # the number of packets on that path" — the Eq. 1 weights are
+        # loss-discounted so media migrates toward cleaner paths
+        # instead of being FEC-protected harder on lossy ones.
+        def weight(state: _PathState) -> float:
+            penalty = max(1.0 - _LOSS_AVERSION * state.gcc.loss_estimate, 0.2)
+            return state.gcc.target_rate * penalty
+
+        total_rate = sum(
+            weight(s) for s in states.values() if s.enabled
+        )
+        snapshots: List[PathSnapshot] = []
+        for path_id, state in states.items():
+            rate = state.gcc.target_rate
+            interval = 1.0 / 30.0  # one scheduling round per frame tick
+            max_packets = max(
+                int(
+                    math.ceil(
+                        rate * interval * _BUDGET_HEADROOM
+                        / (8 * max(avg_packet_size, 1))
+                    )
+                ),
+                1,
+            )
+            if state.enabled and total_rate > 0:
+                share = num_media_packets * weight(state) / total_rate
+            else:
+                share = 0.0
+            with_carry = share + state.share_carry + state.adjust
+            budget = int(with_carry)
+            state.share_carry = min(max(with_carry - budget - state.adjust, 0.0), 1.0)
+            budget = min(max(budget, 0), max_packets)
+            # Eq. 2: a path whose feedback-adjusted budget stays at
+            # zero while media is flowing gets disabled outright.
+            if state.enabled and share > 0 and budget == 0:
+                state.zero_budget_rounds += 1
+            else:
+                state.zero_budget_rounds = 0
+            age = (
+                now - state.last_feedback_time
+                if state.last_feedback_time >= 0
+                else now
+            )
+            snapshots.append(
+                PathSnapshot(
+                    path_id=path_id,
+                    srtt=state.gcc.srtt,
+                    loss=state.gcc.loss_estimate,
+                    send_rate=rate,
+                    goodput=state.gcc.goodput,
+                    budget_packets=budget,
+                    max_packets=max_packets,
+                    enabled=state.enabled,
+                    last_feedback_age=age,
+                )
+            )
+        return snapshots
+
+    def _update_enablement(self, now: float) -> None:
+        fast_srtt = min(
+            (s.gcc.srtt for s in self._states.values() if s.enabled),
+            default=0.1,
+        )
+        for state in self._states.values():
+            if state.enabled:
+                silent = (
+                    state.last_send_time >= 0
+                    and state.last_feedback_time >= 0
+                    and now - state.last_feedback_time
+                    > _FEEDBACK_SILENCE_TIMEOUT
+                    and state.last_send_time > state.last_feedback_time
+                )
+                bootstrap_dead = (
+                    state.last_feedback_time < 0
+                    and state.last_send_time >= 0
+                    and now - state.last_send_time < 0.5
+                    and now > 3.0
+                )
+                if (
+                    state.zero_budget_rounds >= 5
+                    or state.adjust <= -_ADJUST_LIMIT * 0.9
+                    or silent
+                    or bootstrap_dead
+                ):
+                    state.enabled = False
+                    state.disabled_at = now
+                    state.zero_budget_rounds = 0
+                    if silent or bootstrap_dead:
+                        state.reenable_backoff = min(
+                            state.reenable_backoff * 2, _PROBE_FALLBACK_MAX
+                        )
+                continue
+            # Eq. 3 re-enable: the disabled path's extra one-way delay
+            # must fit inside the tolerated frame construction delay.
+            # Requires fresh probe feedback so a path in outage (whose
+            # stale srtt looks fine) cannot sneak back in.
+            extra_delay = (state.gcc.srtt - fast_srtt) / 2
+            fresh = (
+                state.last_feedback_time >= 0
+                and now - state.last_feedback_time < 0.5
+            )
+            recovered = fresh and extra_delay <= max(self.last_fcd, 0.02)
+            timed_out = now - state.disabled_at > state.reenable_backoff
+            if recovered or timed_out:
+                state.enabled = True
+                state.adjust = 0.0
+                if recovered:
+                    state.reenable_backoff = _PROBE_FALLBACK_REENABLE
+
+    def _decay_adjustments(self) -> None:
+        for state in self._states.values():
+            state.adjust *= _ADJUST_DECAY_FACTOR
+            if abs(state.adjust) < 0.5:
+                state.adjust = 0.0
+
+    # -- aggregate views ----------------------------------------------------------
+
+    def aggregate_rate(self) -> float:
+        """Sum of per-path GCC rates over *live* enabled paths (§4.1).
+
+        A path that has never produced feedback (e.g. the unused second
+        network of a single-path call) still holds its initial GCC rate;
+        counting it would make the encoder overshoot the real capacity,
+        so only paths with recent feedback contribute.
+        """
+        now = self.sim.now
+        total = 0.0
+        any_live = False
+        for state in self._states.values():
+            if not state.enabled:
+                continue
+            live = (
+                state.last_feedback_time >= 0
+                and now - state.last_feedback_time < 1.0
+            )
+            if live:
+                any_live = True
+                total += state.gcc.target_rate
+        if not any_live:
+            # Bootstrap: no feedback yet anywhere, start conservative.
+            return min(
+                s.gcc.target_rate
+                for s in self._states.values()
+            )
+        return total
+
+    def effective_aggregate_rate(
+        self, avg_packet_bytes: int = 1224, frame_rate: float = 30.0
+    ) -> float:
+        """Aggregate rate net of negative Eq. 2 budget adjustments.
+
+        Feedback that removes packets from a path removes real
+        capacity from the call; the encoder must track it or the
+        displaced packets overload the remaining paths and get shed.
+        """
+        now = self.sim.now
+        packet_rate = avg_packet_bytes * 8 * frame_rate
+        total = 0.0
+        any_live = False
+        for state in self._states.values():
+            if not state.enabled:
+                continue
+            live = (
+                state.last_feedback_time >= 0
+                and now - state.last_feedback_time < 1.0
+            )
+            if not live:
+                continue
+            any_live = True
+            rate = state.gcc.target_rate
+            if state.adjust < 0:
+                rate = max(rate + state.adjust * packet_rate, 0.0)
+            total += rate
+        if not any_live:
+            return min(s.gcc.target_rate for s in self._states.values())
+        return total
+
+    def enabled_path_ids(self) -> List[int]:
+        return [pid for pid, s in self._states.items() if s.enabled]
+
+    def disabled_path_ids(self) -> List[int]:
+        return [pid for pid, s in self._states.items() if not s.enabled]
+
+    def loss_estimate(self, path_id: int) -> float:
+        return self._states[path_id].gcc.loss_estimate
+
+    def loss_for_fec(self, path_id: int) -> float:
+        """Loss rate to protect against: peak-hold over recent reports.
+
+        When the path shows a standing queue, the loss is self-inflicted
+        congestion — FEC against it only deepens the queue, so fall
+        back to a small bound and let GCC drain it (§4.3's trade-off).
+        """
+        gcc = self._states[path_id].gcc
+        min_rtt = gcc.min_rtt if gcc.min_rtt != float("inf") else gcc.srtt
+        if gcc.srtt > min_rtt + 0.08:
+            return min(gcc.loss_estimate, 0.05)
+        return max(gcc.loss_estimate, gcc.loss_peak)
+
+    def target_rate(self, path_id: int) -> float:
+        return self._states[path_id].gcc.target_rate
+
+    def srtt(self, path_id: int) -> float:
+        return self._states[path_id].gcc.srtt
+
+    def min_rtt(self, path_id: int) -> float:
+        value = self._states[path_id].gcc.min_rtt
+        return value if value != float("inf") else 0.0
+
+    def aggregate_loss(self) -> float:
+        """Packet-weighted aggregate loss across paths (application level)."""
+        states = list(self._states.values())
+        total_rate = sum(s.gcc.target_rate for s in states)
+        if total_rate <= 0:
+            return 0.0
+        return sum(
+            s.gcc.loss_estimate * s.gcc.target_rate for s in states
+        ) / total_rate
+
+    def carries_media(self, path_id: int, now: float, window: float = 1.0) -> bool:
+        """Whether ``path_id`` recently carried media (not just padding)."""
+        state = self._states[path_id]
+        return (
+            state.last_media_send_time >= 0
+            and now - state.last_media_send_time < window
+        )
+
+    def should_probe(self, path_id: int, now: float) -> bool:
+        state = self._states[path_id]
+        if state.enabled:
+            return False
+        if now - state.last_probe_time >= _PROBE_INTERVAL:
+            state.last_probe_time = now
+            return True
+        return False
+
+    def adjustment(self, path_id: int) -> float:
+        return self._states[path_id].adjust
+
+    def stop(self) -> None:
+        self._decay_process.stop()

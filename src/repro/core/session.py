@@ -1,0 +1,94 @@
+"""Conference call orchestration: build, wire, run, summarize."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import CallConfig
+from repro.core.sender import SenderSession
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.qoe import QoeSummary, summarize
+from repro.net.multipath import PathSet
+from repro.net.path import PathConfig
+from repro.receiver.session import ReceiverSession
+from repro.rtp.rtcp import RtcpMessage
+from repro.scheduling.base import Scheduler
+from repro.simulation.process import PeriodicProcess
+from repro.simulation.simulator import Simulator
+
+
+@dataclass
+class CallResult:
+    """Everything an experiment needs from one finished call."""
+
+    config: CallConfig
+    summary: QoeSummary
+    metrics: MetricsCollector
+
+    @property
+    def label(self) -> str:
+        return self.config.label or self.config.system.value
+
+
+class ConferenceCall:
+    """One simulated call between a sender and a receiver endpoint."""
+
+    def __init__(
+        self,
+        config: CallConfig,
+        path_configs: List[PathConfig],
+        scheduler: Scheduler,
+    ) -> None:
+        self.config = config
+        self.sim = Simulator(config.seed)
+        self.paths = PathSet(self.sim, path_configs)
+        self.metrics = MetricsCollector()
+        ssrcs = [index + 1 for index in range(config.num_streams)]
+        self.receiver = ReceiverSession(
+            self.sim,
+            self.paths,
+            ssrcs,
+            config.receiver,
+            self.metrics,
+        )
+        self.sender = SenderSession(
+            self.sim,
+            self.paths,
+            config,
+            scheduler,
+            self.metrics,
+            send_rtcp_to_receiver=self._deliver_rtcp_to_receiver,
+        )
+        for path in self.paths:
+            path.on_feedback_deliver = self.sender.on_rtcp
+        self._sampler = PeriodicProcess(
+            self.sim, config.sample_interval, self._sample
+        )
+
+    def _deliver_rtcp_to_receiver(self, message: RtcpMessage) -> None:
+        delay = min(p.config.propagation_delay for p in self.paths)
+        self.sim.schedule(
+            delay, lambda: self.receiver.on_rtcp_from_sender(message)
+        )
+
+    def _sample(self) -> None:
+        self.metrics.record_receive_rate_sample(self.sim.now)
+
+    def run(self, duration: Optional[float] = None) -> CallResult:
+        """Run the call to completion and summarize its QoE."""
+        duration = duration if duration is not None else self.config.duration
+        self.sim.run(until=duration)
+        self.sender.stop()
+        self.receiver.stop()
+        self.receiver.finalize()
+        summary = summarize(
+            self.metrics,
+            duration=duration,
+            num_streams=self.config.num_streams,
+            frame_rate=self.config.frame_rate,
+            rd_model=self.config.encoder_template.rd_model,
+        )
+        return CallResult(
+            config=self.config, summary=summary, metrics=self.metrics
+        )

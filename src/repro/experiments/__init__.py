@@ -1,0 +1,6 @@
+"""Experiment harness: one module per table/figure of the evaluation.
+
+Each module exposes a ``run(...)`` function returning a structured
+result plus a ``main()`` that prints the same rows/series the paper
+reports.  The mapping from experiment id to module is in DESIGN.md.
+"""

@@ -1,0 +1,115 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.api import build_call_config, run_call
+from repro.core.config import SystemKind
+from repro.core.session import CallResult
+from repro.net.loss import BernoulliLoss, LossModel, NoLoss
+from repro.net.path import PathConfig
+from repro.net.trace import BandwidthTrace
+from repro.simulation.random import RandomStreams
+from repro.traces.scenarios import (
+    get_scenario,
+    make_loss_model,
+    make_scenario_trace,
+    propagation_delay,
+)
+
+# Default call length for experiments.  The paper uses 3-minute calls;
+# benches default to a shorter window for iteration speed (set
+# full_length=True or duration=180 for paper-length runs).
+DEFAULT_DURATION = 60.0
+
+
+def scenario_paths(
+    scenario: str,
+    duration: float,
+    seed: int,
+    networks: Optional[Sequence[str]] = None,
+) -> List[PathConfig]:
+    """Build the emulated paths for one Appendix-D scenario."""
+    streams = RandomStreams(seed)
+    names = list(networks) if networks else list(get_scenario(scenario).networks)
+    configs: List[PathConfig] = []
+    for index, network in enumerate(names):
+        configs.append(
+            PathConfig(
+                path_id=index,
+                trace=make_scenario_trace(scenario, network, duration, streams),
+                propagation_delay=propagation_delay(scenario, network),
+                loss_model=make_loss_model(scenario, network),
+                name=network,
+            )
+        )
+    return configs
+
+
+def constant_paths(
+    capacities_bps: Sequence[float],
+    propagation_delays: Sequence[float],
+    loss_rates: Sequence[float],
+    names: Optional[Sequence[str]] = None,
+) -> List[PathConfig]:
+    """Fixed-capacity paths for the controlled experiments (§6.2)."""
+    if not (
+        len(capacities_bps) == len(propagation_delays) == len(loss_rates)
+    ):
+        raise ValueError("per-path parameter lists must align")
+    configs: List[PathConfig] = []
+    for index, (bps, delay, loss) in enumerate(
+        zip(capacities_bps, propagation_delays, loss_rates)
+    ):
+        loss_model: LossModel = BernoulliLoss(loss) if loss > 0 else NoLoss()
+        configs.append(
+            PathConfig(
+                path_id=index,
+                trace=BandwidthTrace.constant(bps),
+                propagation_delay=delay,
+                loss_model=loss_model,
+                name=names[index] if names else f"path-{index}",
+            )
+        )
+    return configs
+
+
+def run_system(
+    system: SystemKind,
+    path_configs: Sequence[PathConfig],
+    duration: float,
+    num_streams: int = 1,
+    seed: int = 1,
+    single_path_id: int = 0,
+    label: Optional[str] = None,
+    **config_kwargs,
+) -> CallResult:
+    """Run one system on the given paths and return its result."""
+    config = build_call_config(
+        system,
+        duration=duration,
+        num_streams=num_streams,
+        seed=seed,
+        single_path_id=single_path_id,
+        label=label,
+        **config_kwargs,
+    )
+    return run_call(config, path_configs)
+
+
+def run_all_systems(
+    systems: Sequence[SystemKind],
+    path_configs: Sequence[PathConfig],
+    duration: float,
+    num_streams: int = 1,
+    seed: int = 1,
+) -> Dict[str, CallResult]:
+    """Run several systems on identical paths; keyed by system label."""
+    results: Dict[str, CallResult] = {}
+    for system in systems:
+        result = run_system(
+            system, path_configs, duration, num_streams, seed
+        )
+        results[result.label] = result
+    return results

@@ -1,0 +1,96 @@
+"""Figure 1: WebRTC degrades under cellular bandwidth variation.
+
+Reproduces the motivating experiment: two single-path WebRTC calls,
+one over T-Mobile and one over Verizon, replaying driving traces.
+The paper shows FPS collapses and per-frame E2E latency spikes as
+capacity varies; the harness reports the FPS/E2E time series and the
+summary statistics that make the motivation concrete (time below the
+24 FPS target, E2E p95).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import SystemKind
+from repro.experiments.common import scenario_paths, run_system
+from repro.metrics.report import format_table
+
+
+@dataclass
+class Fig01Row:
+    network: str
+    mean_fps: float
+    fraction_below_target: float
+    e2e_mean: float
+    e2e_p95: float
+    freeze_seconds: float
+    fps_series: List[float]
+    e2e_series_mean: float
+
+
+@dataclass
+class Fig01Result:
+    rows: List[Fig01Row]
+
+
+def run(duration: float = 60.0, seed: int = 1, target_fps: float = 24.0) -> Fig01Result:
+    """Run the Figure 1 motivation experiment."""
+    rows: List[Fig01Row] = []
+    for network in ("tmobile", "verizon"):
+        paths = scenario_paths("driving", duration, seed, networks=[network])
+        result = run_system(
+            SystemKind.WEBRTC,
+            paths,
+            duration=duration,
+            seed=seed,
+            label=f"webrtc-{network}",
+        )
+        summary = result.summary
+        fps_series = result.metrics.fps_series(duration).values
+        below = sum(1 for v in fps_series if v < target_fps) / max(
+            len(fps_series), 1
+        )
+        rows.append(
+            Fig01Row(
+                network=network,
+                mean_fps=summary.average_fps,
+                fraction_below_target=below,
+                e2e_mean=summary.e2e_mean,
+                e2e_p95=summary.e2e_p95,
+                freeze_seconds=summary.freeze.total_duration,
+                fps_series=fps_series,
+                e2e_series_mean=summary.e2e_mean,
+            )
+        )
+    return Fig01Result(rows=rows)
+
+
+def main(duration: float = 60.0, seed: int = 1) -> str:
+    from repro.analysis.plots import sparkline
+
+    result = run(duration=duration, seed=seed)
+    table = format_table(
+        ["network", "mean FPS", "frac<24fps", "E2E mean (s)", "E2E p95 (s)", "freeze (s)"],
+        [
+            [r.network, r.mean_fps, r.fraction_below_target, r.e2e_mean, r.e2e_p95, r.freeze_seconds]
+            for r in result.rows
+        ],
+    )
+    charts = "\n".join(
+        f"FPS {r.network:8s} {sparkline(r.fps_series, width=64)}"
+        for r in result.rows
+    )
+    output = (
+        "Figure 1 — WebRTC over a single cellular network (driving)\n"
+        + table
+        + "\n\n"
+        + charts
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

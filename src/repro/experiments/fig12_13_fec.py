@@ -1,0 +1,146 @@
+"""Figures 12-13 + Table 5: the QoE trade-off of FEC (§6.2).
+
+Controlled environment per the paper: two 15 Mbps paths, 100 ms RTT,
+Bernoulli loss swept 1-10%.  Both arms use the Converge video-aware
+scheduler; they differ only in the FEC controller — path-specific
+(Converge, §4.3) vs WebRTC's static table — isolating the FEC design
+as §6.2's component analysis does.
+
+- Fig. 12: FEC overhead and FEC utilization vs loss rate,
+- Fig. 13: (media throughput, E2E delay) operating points,
+- Table 5: % improvement in frame drops, freeze duration and keyframe
+  requests from the path-specific controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import FecMode, SystemKind
+from repro.experiments.common import constant_paths, run_system
+from repro.metrics.report import format_table
+
+
+@dataclass
+class FecSweepPoint:
+    loss_percent: float
+    fec_mode: str
+    fec_overhead: float
+    fec_utilization: float
+    throughput_bps: float
+    e2e_mean: float
+    frame_drops: int
+    freeze_total: float
+    keyframe_requests: int
+
+
+@dataclass
+class Fec1213Result:
+    points: List[FecSweepPoint]
+
+    def arm(self, fec_mode: str) -> List[FecSweepPoint]:
+        return sorted(
+            (p for p in self.points if p.fec_mode == fec_mode),
+            key=lambda p: p.loss_percent,
+        )
+
+    def table5(self) -> List[dict]:
+        """% improvement of path-specific FEC over the table (per loss)."""
+        improvements = []
+        table_arm = {p.loss_percent: p for p in self.arm("webrtc-table")}
+        for point in self.arm("converge"):
+            baseline = table_arm[point.loss_percent]
+
+            def improvement(ours: float, theirs: float) -> float:
+                if theirs <= 0:
+                    return 0.0
+                return 100.0 * (theirs - ours) / theirs
+
+            improvements.append(
+                {
+                    "loss_percent": point.loss_percent,
+                    "frame_drops": improvement(
+                        point.frame_drops, baseline.frame_drops
+                    ),
+                    "freeze": improvement(point.freeze_total, baseline.freeze_total),
+                    "keyframe_requests": improvement(
+                        point.keyframe_requests, baseline.keyframe_requests
+                    ),
+                }
+            )
+        return improvements
+
+
+def run(
+    duration: float = 60.0,
+    seed: int = 1,
+    loss_percents: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+) -> Fec1213Result:
+    points: List[FecSweepPoint] = []
+    for loss_percent in loss_percents:
+        loss = loss_percent / 100.0
+        for fec_mode in (FecMode.CONVERGE, FecMode.WEBRTC_TABLE):
+            paths = constant_paths(
+                [15e6, 15e6], [0.05, 0.05], [loss, loss]
+            )
+            result = run_system(
+                SystemKind.CONVERGE,
+                paths,
+                duration=duration,
+                seed=seed,
+                fec_mode=fec_mode,
+                label=fec_mode.value,
+            )
+            summary = result.summary
+            points.append(
+                FecSweepPoint(
+                    loss_percent=loss_percent,
+                    fec_mode=fec_mode.value,
+                    fec_overhead=summary.fec_overhead,
+                    fec_utilization=summary.fec_utilization,
+                    throughput_bps=summary.throughput_bps,
+                    e2e_mean=summary.e2e_mean,
+                    frame_drops=summary.frame_drops,
+                    freeze_total=summary.freeze.total_duration,
+                    keyframe_requests=summary.keyframe_requests,
+                )
+            )
+    return Fec1213Result(points=points)
+
+
+def main(duration: float = 60.0, seed: int = 1) -> str:
+    result = run(duration=duration, seed=seed)
+    fig12 = format_table(
+        ["loss %", "FEC mode", "overhead %", "utilization %"],
+        [
+            [p.loss_percent, p.fec_mode, 100 * p.fec_overhead, 100 * p.fec_utilization]
+            for p in result.points
+        ],
+    )
+    fig13 = format_table(
+        ["loss %", "FEC mode", "tput (Mbps)", "E2E (s)"],
+        [
+            [p.loss_percent, p.fec_mode, p.throughput_bps / 1e6, p.e2e_mean]
+            for p in result.points
+        ],
+    )
+    table5 = format_table(
+        ["loss %", "drops improv %", "freeze improv %", "kfr improv %"],
+        [
+            [row["loss_percent"], row["frame_drops"], row["freeze"], row["keyframe_requests"]]
+            for row in result.table5()
+        ],
+    )
+    output = (
+        "Figure 12 — FEC overhead/utilization vs loss\n" + fig12
+        + "\n\nFigure 13 — throughput vs E2E trade-off\n" + fig13
+        + "\n\nTable 5 — %% QoE improvement, path-specific FEC vs table FEC\n"
+        + table5
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

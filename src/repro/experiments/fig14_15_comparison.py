@@ -1,0 +1,139 @@
+"""Figures 14-15: comparison with existing solutions (driving).
+
+All seven systems of §6: single-path WebRTC on each carrier,
+WebRTC-CM (connection migration), the three multipath variants, and
+Converge.  Reported:
+
+- Fig. 14(a): normalized throughput / FPS / stall / QP,
+- Fig. 14(b): FEC overhead and utilization,
+- Fig. 14(c): E2E latency distribution (mean / p95),
+- Fig. 15: PSNR distribution (mean / p10).
+
+Expected shape: Converge has the highest delivered throughput, FPS
+and PSNR, the lowest QP and FEC overhead with the highest FEC
+utilization, and the lowest E2E among multipath systems (the naive
+variants are qualitatively worse on E2E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.config import SystemKind
+from repro.experiments.common import run_system, scenario_paths
+from repro.metrics.report import format_table
+
+
+@dataclass
+class ComparisonRow:
+    system: str
+    throughput_bps: float
+    mean_fps: float
+    stall_seconds: float
+    qp: float
+    fec_overhead: float
+    fec_utilization: float
+    e2e_mean: float
+    e2e_p95: float
+    psnr_mean: float
+    psnr_p10: float
+    normalized: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ComparisonResult:
+    rows: List[ComparisonRow]
+
+    def by_system(self) -> Dict[str, ComparisonRow]:
+        return {row.system: row for row in self.rows}
+
+
+def run(
+    duration: float = 60.0, seed: int = 1, num_streams: int = 1
+) -> ComparisonResult:
+    paths = scenario_paths("driving", duration, seed)  # tmobile, verizon
+    runs = [
+        (SystemKind.WEBRTC, {"single_path_id": 0, "label": "webrtc-t"}),
+        (SystemKind.WEBRTC, {"single_path_id": 1, "label": "webrtc-v"}),
+        (SystemKind.WEBRTC_CM, {"single_path_id": 0, "label": "webrtc-cm"}),
+        (SystemKind.SRTT, {}),
+        (SystemKind.MTPUT, {}),
+        (SystemKind.MRTP, {}),
+        (SystemKind.CONVERGE, {}),
+    ]
+    rows: List[ComparisonRow] = []
+    for system, kwargs in runs:
+        result = run_system(
+            system,
+            paths,
+            duration=duration,
+            num_streams=num_streams,
+            seed=seed,
+            **kwargs,
+        )
+        summary = result.summary
+        psnr = sorted(summary.psnr_samples)
+        p10 = psnr[int(0.1 * len(psnr))] if psnr else 0.0
+        rows.append(
+            ComparisonRow(
+                system=result.label,
+                throughput_bps=summary.throughput_bps,
+                mean_fps=summary.average_fps,
+                stall_seconds=summary.freeze.total_duration,
+                qp=summary.average_qp,
+                fec_overhead=summary.fec_overhead,
+                fec_utilization=summary.fec_utilization,
+                e2e_mean=summary.e2e_mean,
+                e2e_p95=summary.e2e_p95,
+                psnr_mean=summary.average_psnr,
+                psnr_p10=p10,
+                normalized=summary.normalized(),
+            )
+        )
+    return ComparisonResult(rows=rows)
+
+
+def main(duration: float = 60.0, seed: int = 1) -> str:
+    result = run(duration=duration, seed=seed)
+    fig14a = format_table(
+        ["system", "norm tput", "norm FPS", "stall frac", "norm QP"],
+        [
+            [
+                r.system,
+                r.normalized["throughput"],
+                r.normalized["fps"],
+                r.normalized["stall"],
+                r.normalized["qp"],
+            ]
+            for r in result.rows
+        ],
+    )
+    fig14bc = format_table(
+        ["system", "FEC overhead %", "FEC util %", "E2E mean (s)", "E2E p95 (s)"],
+        [
+            [
+                r.system,
+                100 * r.fec_overhead,
+                100 * r.fec_utilization,
+                r.e2e_mean,
+                r.e2e_p95,
+            ]
+            for r in result.rows
+        ],
+    )
+    fig15 = format_table(
+        ["system", "PSNR mean (dB)", "PSNR p10 (dB)"],
+        [[r.system, r.psnr_mean, r.psnr_p10] for r in result.rows],
+    )
+    output = (
+        "Figure 14(a) — normalized QoE (driving)\n" + fig14a
+        + "\n\nFigure 14(b,c) — FEC and E2E\n" + fig14bc
+        + "\n\nFigure 15 — PSNR\n" + fig15
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

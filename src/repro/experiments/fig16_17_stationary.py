@@ -1,0 +1,119 @@
+"""Figures 16-17 + Table 6: the stationary scenario (Appendix A).
+
+WiFi + T-Mobile without mobility.  The paper's shape: with a stable
+WiFi network, Converge and WebRTC-W are close on FPS and stalls;
+Converge still wins on throughput (path aggregation, ~41% over
+WebRTC-W and ~2.7x over WebRTC-T) and QP, with minimal FEC overhead
+and slightly higher E2E at high stream counts (it moves more bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.config import SystemKind
+from repro.experiments.common import run_system, scenario_paths
+from repro.metrics.report import format_table
+
+
+@dataclass
+class StationaryRow:
+    system: str
+    num_streams: int
+    throughput_bps: float
+    mean_fps: float
+    e2e_mean: float
+    stall_seconds: float
+    fec_overhead: float
+    fec_utilization: float
+    qp: float
+    normalized: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class StationaryResult:
+    rows: List[StationaryRow]
+
+
+def run(
+    duration: float = 60.0,
+    seed: int = 1,
+    stream_counts: Sequence[int] = (1, 2, 3),
+) -> StationaryResult:
+    rows: List[StationaryRow] = []
+    for num_streams in stream_counts:
+        paths = scenario_paths(
+            "stationary", duration, seed, networks=("wifi", "tmobile")
+        )
+        runs = [
+            (SystemKind.WEBRTC, {"single_path_id": 0, "label": "webrtc-w"}),
+            (SystemKind.WEBRTC, {"single_path_id": 1, "label": "webrtc-t"}),
+            (SystemKind.CONVERGE, {"label": "converge"}),
+        ]
+        for system, kwargs in runs:
+            result = run_system(
+                system,
+                paths,
+                duration=duration,
+                num_streams=num_streams,
+                seed=seed,
+                **kwargs,
+            )
+            summary = result.summary
+            rows.append(
+                StationaryRow(
+                    system=result.label,
+                    num_streams=num_streams,
+                    throughput_bps=summary.throughput_bps,
+                    mean_fps=summary.average_fps,
+                    e2e_mean=summary.e2e_mean,
+                    stall_seconds=summary.freeze.total_duration,
+                    fec_overhead=summary.fec_overhead,
+                    fec_utilization=summary.fec_utilization,
+                    qp=summary.average_qp,
+                    normalized=summary.normalized(),
+                )
+            )
+    return StationaryResult(rows=rows)
+
+
+def main(duration: float = 60.0, seed: int = 1) -> str:
+    result = run(duration=duration, seed=seed)
+    fig17 = format_table(
+        ["#", "system", "norm tput", "norm FPS", "stall frac", "norm QP"],
+        [
+            [
+                r.num_streams,
+                r.system,
+                r.normalized["throughput"],
+                r.normalized["fps"],
+                r.normalized["stall"],
+                r.normalized["qp"],
+            ]
+            for r in result.rows
+        ],
+    )
+    table6 = format_table(
+        ["#", "system", "E2E (ms)", "FEC overhead %", "FEC util %"],
+        [
+            [
+                r.num_streams,
+                r.system,
+                1000 * r.e2e_mean,
+                100 * r.fec_overhead,
+                100 * r.fec_utilization,
+            ]
+            for r in result.rows
+        ],
+    )
+    output = (
+        "Figure 17 — normalized QoE (stationary)\n" + fig17
+        + "\n\nTable 6 — E2E / FEC (stationary)\n" + table6
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

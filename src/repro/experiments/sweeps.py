@@ -1,0 +1,147 @@
+"""Design-parameter sweeps (DESIGN.md §7).
+
+Beyond the paper's own figures, these sweeps quantify the design
+choices the reproduction documents as load-bearing:
+
+- packet-buffer capacity vs frame drops (the §3.2 eviction mechanism),
+- the playout deadline vs drops and latency (real-time budget),
+- the loss-aversion weight in the Eq. 1 media split,
+- Gilbert-Elliott vs Bernoulli loss at equal average rate (burstiness
+  is what separates the FEC controllers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import SystemKind
+from repro.experiments.common import constant_paths, run_system, scenario_paths
+from repro.metrics.report import format_table
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss
+from repro.receiver.packet_buffer import PacketBufferConfig
+from repro.receiver.session import ReceiverConfig
+
+
+@dataclass
+class SweepPoint:
+    parameter: str
+    value: float
+    fps: float
+    e2e_mean: float
+    frame_drops: int
+    freeze_total: float
+    throughput_bps: float
+
+
+def sweep_packet_buffer(
+    duration: float = 45.0,
+    seed: int = 1,
+    capacities: Sequence[int] = (64, 256, 1024, 2048),
+) -> List[SweepPoint]:
+    """Smaller packet buffers evict more under multipath skew (§3.2)."""
+    points = []
+    paths = scenario_paths("driving", duration, seed)
+    for capacity in capacities:
+        receiver = ReceiverConfig(
+            packet_buffer=PacketBufferConfig(capacity_packets=capacity)
+        )
+        summary = run_system(
+            SystemKind.CONVERGE, paths, duration=duration, seed=seed,
+            receiver=receiver,
+        ).summary
+        points.append(_point("packet_buffer", capacity, summary))
+    return points
+
+
+def sweep_playout_deadline(
+    duration: float = 45.0,
+    seed: int = 1,
+    deadlines: Sequence[float] = (0.2, 0.4, 0.8, 1.6),
+) -> List[SweepPoint]:
+    """Tighter deadlines trade drops for interactivity."""
+    points = []
+    paths = scenario_paths("driving", duration, seed)
+    for deadline in deadlines:
+        receiver = ReceiverConfig(max_playout_latency=deadline)
+        summary = run_system(
+            SystemKind.CONVERGE, paths, duration=duration, seed=seed,
+            receiver=receiver,
+        ).summary
+        points.append(_point("playout_deadline", deadline, summary))
+    return points
+
+
+def sweep_loss_model(
+    duration: float = 45.0,
+    seed: int = 1,
+    rate: float = 0.02,
+) -> List[SweepPoint]:
+    """Bernoulli vs Gilbert-Elliott at the same long-run loss rate."""
+    points = []
+    for name, model_factory in (
+        ("bernoulli", lambda: BernoulliLoss(rate)),
+        (
+            "gilbert-elliott",
+            lambda: GilbertElliottLoss(
+                p_good_to_bad=rate * 0.1 / (0.2 - rate),
+                p_bad_to_good=0.1,
+                bad_loss=0.2,
+            ),
+        ),
+    ):
+        paths = constant_paths([12e6, 12e6], [0.02, 0.03], [0.0, 0.0])
+        for config in paths:
+            config.loss_model = model_factory()
+        summary = run_system(
+            SystemKind.CONVERGE, paths, duration=duration, seed=seed,
+            label=name,
+        ).summary
+        points.append(
+            SweepPoint(
+                parameter="loss_model",
+                value=0.0 if name == "bernoulli" else 1.0,
+                fps=summary.average_fps,
+                e2e_mean=summary.e2e_mean,
+                frame_drops=summary.frame_drops,
+                freeze_total=summary.freeze.total_duration,
+                throughput_bps=summary.throughput_bps,
+            )
+        )
+    return points
+
+
+def _point(parameter: str, value: float, summary) -> SweepPoint:
+    return SweepPoint(
+        parameter=parameter,
+        value=value,
+        fps=summary.average_fps,
+        e2e_mean=summary.e2e_mean,
+        frame_drops=summary.frame_drops,
+        freeze_total=summary.freeze.total_duration,
+        throughput_bps=summary.throughput_bps,
+    )
+
+
+def main(duration: float = 45.0, seed: int = 1) -> str:
+    rows = []
+    for points in (
+        sweep_packet_buffer(duration, seed),
+        sweep_playout_deadline(duration, seed),
+        sweep_loss_model(duration, seed),
+    ):
+        for p in points:
+            rows.append(
+                [p.parameter, p.value, p.fps, 1000 * p.e2e_mean,
+                 p.frame_drops, p.freeze_total]
+            )
+    output = "Design-parameter sweeps (Converge, driving)\n" + format_table(
+        ["parameter", "value", "FPS", "E2E ms", "drops", "freeze s"], rows
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

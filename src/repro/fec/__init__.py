@@ -1,0 +1,22 @@
+"""Forward error correction: XOR codec and the two rate controllers.
+
+WebRTC protects media with XOR-based FEC (ULPFEC/FlexFEC style [31]):
+one FEC packet is the XOR of a group of media packets and can recover
+exactly one loss within the group.  The paper contrasts WebRTC's static
+loss-rate-table controller — aggressive and application-level — with
+Converge's path-specific controller ``FEC_i = l_i * P_i * beta`` whose
+``beta`` adapts to observed NACKs (§4.3).
+"""
+
+from repro.fec.xor import XorCodec, XorFecGroup
+from repro.fec.tables import webrtc_protection_factor
+from repro.fec.webrtc_controller import WebRtcFecController
+from repro.fec.converge_controller import ConvergeFecController
+
+__all__ = [
+    "ConvergeFecController",
+    "WebRtcFecController",
+    "XorCodec",
+    "XorFecGroup",
+    "webrtc_protection_factor",
+]

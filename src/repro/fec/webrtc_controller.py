@@ -1,0 +1,40 @@
+"""WebRTC's table-driven, application-level FEC controller.
+
+Operates on the *aggregate* loss across all paths (the paper's
+"application-level protection", §3.3) and keeps protecting at the
+table rate regardless of whether the FEC is ever used.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fec.tables import webrtc_protection_factor
+
+_LOSS_SMOOTHING = 0.3
+
+
+class WebRtcFecController:
+    """Static table lookup on smoothed aggregate loss."""
+
+    def __init__(self) -> None:
+        self._aggregate_loss = 0.0
+
+    def on_loss_report(self, fraction_lost: float) -> None:
+        """Feed the combined loss rate reported across all paths."""
+        if not 0.0 <= fraction_lost <= 1.0:
+            raise ValueError(f"fraction lost out of range: {fraction_lost}")
+        self._aggregate_loss += _LOSS_SMOOTHING * (
+            fraction_lost - self._aggregate_loss
+        )
+
+    @property
+    def aggregate_loss(self) -> float:
+        return self._aggregate_loss
+
+    def num_fec_packets(self, num_media: int, is_keyframe: bool) -> int:
+        """FEC packets to generate for a frame of ``num_media`` packets."""
+        if num_media <= 0:
+            return 0
+        factor = webrtc_protection_factor(self._aggregate_loss, is_keyframe)
+        return int(math.ceil(factor * num_media - 1e-9))

@@ -1,0 +1,24 @@
+"""Network emulation substrate.
+
+Models the time-varying cellular/WiFi paths the paper evaluates on:
+a drop-tail bottleneck queue served at a trace-driven capacity, a fixed
+propagation delay, and a stochastic loss process (Bernoulli or
+Gilbert-Elliott).  Paths are unidirectional; a :class:`Path` pair plus a
+:class:`PathSet` gives the sender its multipath view.
+"""
+
+from repro.net.trace import BandwidthTrace
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+from repro.net.path import Path, PathConfig
+from repro.net.multipath import PathSet
+
+__all__ = [
+    "BandwidthTrace",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "LossModel",
+    "NoLoss",
+    "Path",
+    "PathConfig",
+    "PathSet",
+]

@@ -1,0 +1,123 @@
+"""Stochastic packet-loss models for emulated paths."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class LossModel(ABC):
+    """Decides, per packet, whether the path drops it."""
+
+    @abstractmethod
+    def should_drop(self, rng: random.Random, now: float = 0.0) -> bool:
+        """Return ``True`` if the packet sent at ``now`` is lost."""
+
+    @abstractmethod
+    def long_run_rate(self) -> float:
+        """Return the stationary loss probability of the model."""
+
+
+class NoLoss(LossModel):
+    """A lossless path (queue overflow can still drop packets)."""
+
+    def should_drop(self, rng: random.Random, now: float = 0.0) -> bool:
+        return False
+
+    def long_run_rate(self) -> float:
+        return 0.0
+
+
+class BernoulliLoss(LossModel):
+    """Independent per-packet loss with fixed probability."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1]: {rate}")
+        self.rate = rate
+
+    def should_drop(self, rng: random.Random, now: float = 0.0) -> bool:
+        return self.rate > 0 and rng.random() < self.rate
+
+    def long_run_rate(self) -> float:
+        return self.rate
+
+
+class ScheduledLoss(LossModel):
+    """Bernoulli loss whose rate follows a time schedule.
+
+    Models radio events tied to mobility: a coverage fade is not just
+    a capacity collapse, it comes with a period of elevated loss.
+    ``schedule`` is a list of ``(start_time, rate)`` steps.
+    """
+
+    def __init__(self, schedule) -> None:
+        steps = sorted(schedule)
+        if not steps:
+            raise ValueError("schedule must not be empty")
+        for _, rate in steps:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"loss rate must be in [0, 1]: {rate}")
+        self._times = [t for t, _ in steps]
+        self._rates = [r for _, r in steps]
+
+    def rate_at(self, now: float) -> float:
+        import bisect
+
+        index = bisect.bisect_right(self._times, now) - 1
+        return self._rates[max(index, 0)]
+
+    def should_drop(self, rng: random.Random, now: float = 0.0) -> bool:
+        rate = self.rate_at(now)
+        return rate > 0 and rng.random() < rate
+
+    def long_run_rate(self) -> float:
+        return sum(self._rates) / len(self._rates)
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss model.
+
+    The chain alternates between a GOOD state (loss ``good_loss``) and a
+    BAD state (loss ``bad_loss``).  Cellular links under mobility show
+    exactly this bursty behaviour, which stresses FEC block recovery far
+    more than independent loss at the same average rate.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.005,
+        p_bad_to_good: float = 0.1,
+        good_loss: float = 0.0,
+        bad_loss: float = 0.3,
+    ) -> None:
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self._in_bad = False
+
+    def should_drop(self, rng: random.Random, now: float = 0.0) -> bool:
+        if self._in_bad:
+            if rng.random() < self.p_bad_to_good:
+                self._in_bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._in_bad = True
+        loss = self.bad_loss if self._in_bad else self.good_loss
+        return loss > 0 and rng.random() < loss
+
+    def long_run_rate(self) -> float:
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0:
+            return self.good_loss if not self._in_bad else self.bad_loss
+        pi_bad = self.p_good_to_bad / denom
+        return pi_bad * self.bad_loss + (1 - pi_bad) * self.good_loss

@@ -1,0 +1,47 @@
+"""Grouping of emulated paths into the sender's multipath view."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from repro.net.path import Path, PathConfig
+from repro.simulation.simulator import Simulator
+
+
+class PathSet:
+    """The set of paths available to one conference direction.
+
+    Experiments construct the paths (one per network: WiFi, T-Mobile,
+    Verizon...) and hand the set to the sender; the receiver registers
+    delivery callbacks per path.
+    """
+
+    def __init__(self, sim: Simulator, configs: Iterable[PathConfig]) -> None:
+        self.sim = sim
+        self._paths: Dict[int, Path] = {}
+        for config in configs:
+            if config.path_id in self._paths:
+                raise ValueError(f"duplicate path id {config.path_id}")
+            self._paths[config.path_id] = Path(sim, config)
+        if not self._paths:
+            raise ValueError("a path set needs at least one path")
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._paths.values())
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __contains__(self, path_id: int) -> bool:
+        return path_id in self._paths
+
+    def get(self, path_id: int) -> Path:
+        return self._paths[path_id]
+
+    @property
+    def path_ids(self) -> List[int]:
+        return list(self._paths.keys())
+
+    def total_capacity_now(self) -> float:
+        """Aggregate instantaneous capacity across all paths (bps)."""
+        return sum(path.capacity_now() for path in self._paths.values())

@@ -1,0 +1,170 @@
+"""A unidirectional network path: drop-tail queue + trace-driven capacity.
+
+This is the emulation equivalent of the cellular/WiFi links in the
+paper's testbed.  Data packets experience:
+
+1. stochastic loss (the radio-loss process, :mod:`repro.net.loss`),
+2. a byte-limited drop-tail bottleneck queue served at the capacity the
+   bandwidth trace reports for the current instant,
+3. a fixed propagation delay plus small random delivery jitter.
+
+The reverse direction (RTCP feedback) is modelled as a delay-only
+channel via :meth:`Path.send_feedback` because control traffic is tiny
+compared to path capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro.net.loss import LossModel, NoLoss
+from repro.net.trace import BandwidthTrace
+from repro.simulation.simulator import Simulator
+
+# Below this capacity the link is treated as in outage and polled until
+# it recovers rather than computing absurd serialization delays.
+_OUTAGE_CAPACITY_BPS = 1_000.0
+_OUTAGE_POLL_INTERVAL = 0.02
+
+
+@dataclass
+class PathConfig:
+    """Static configuration for one emulated path."""
+
+    path_id: int
+    trace: BandwidthTrace
+    propagation_delay: float = 0.025
+    loss_model: LossModel = field(default_factory=NoLoss)
+    queue_capacity_bytes: int = 256_000
+    jitter_max: float = 0.002
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.propagation_delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        if self.queue_capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        if not self.name:
+            self.name = f"path-{self.path_id}"
+
+
+@dataclass
+class PathStats:
+    """Counters the emulator keeps per path."""
+
+    sent_packets: int = 0
+    sent_bytes: int = 0
+    delivered_packets: int = 0
+    delivered_bytes: int = 0
+    random_losses: int = 0
+    queue_drops: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        if self.sent_packets == 0:
+            return 0.0
+        return (self.random_losses + self.queue_drops) / self.sent_packets
+
+
+class Path:
+    """One emulated unidirectional path between sender and receiver."""
+
+    def __init__(self, sim: Simulator, config: PathConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.path_id = config.path_id
+        self.stats = PathStats()
+        self.on_deliver: Optional[Callable[[object], None]] = None
+        self.on_feedback_deliver: Optional[Callable[[object], None]] = None
+        self._rng = sim.streams.stream(f"path-loss-{config.path_id}-{config.name}")
+        self._jitter_rng = sim.streams.stream(
+            f"path-jitter-{config.path_id}-{config.name}"
+        )
+        self._queue: Deque[object] = deque()
+        self._queued_bytes = 0
+        self._serving = False
+
+    # -- data direction ------------------------------------------------
+
+    def send(self, packet) -> bool:
+        """Offer ``packet`` (must expose ``size_bytes``) to the path.
+
+        Returns ``True`` if the packet entered the link (it may still be
+        randomly lost in flight), ``False`` on queue overflow.
+        """
+        size = packet.size_bytes
+        self.stats.sent_packets += 1
+        self.stats.sent_bytes += size
+        if self._queued_bytes + size > self.config.queue_capacity_bytes:
+            self.stats.queue_drops += 1
+            return False
+        self._queue.append(packet)
+        self._queued_bytes += size
+        if not self._serving:
+            self._serving = True
+            self.sim.schedule(0.0, self._serve_next)
+        return True
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._serving = False
+            return
+        capacity = self.config.trace.capacity_at(self.sim.now)
+        if capacity < _OUTAGE_CAPACITY_BPS:
+            self.sim.schedule(_OUTAGE_POLL_INTERVAL, self._serve_next)
+            return
+        packet = self._queue.popleft()
+        self._queued_bytes -= packet.size_bytes
+        tx_time = packet.size_bytes * 8 / capacity
+        self.sim.schedule(tx_time, lambda: self._transmitted(packet))
+
+    def _transmitted(self, packet) -> None:
+        # Schedule the next packet's service as soon as this one leaves
+        # the transmitter, then propagate this one.
+        self._serve_next()
+        if self.config.loss_model.should_drop(self._rng, self.sim.now):
+            self.stats.random_losses += 1
+            return
+        jitter = self._jitter_rng.uniform(0.0, self.config.jitter_max)
+        delay = self.config.propagation_delay + jitter
+        self.sim.schedule(delay, lambda: self._deliver(packet))
+
+    def _deliver(self, packet) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size_bytes
+        if self.on_deliver is not None:
+            self.on_deliver(packet)
+
+    # -- feedback direction ---------------------------------------------
+
+    def send_feedback(self, message) -> None:
+        """Carry an RTCP message back to the sender after one-way delay."""
+        delay = self.config.propagation_delay + self._jitter_rng.uniform(
+            0.0, self.config.jitter_max
+        )
+        self.sim.schedule(delay, lambda: self._deliver_feedback(message))
+
+    def _deliver_feedback(self, message) -> None:
+        if self.on_feedback_deliver is not None:
+            self.on_feedback_deliver(message)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def capacity_now(self) -> float:
+        """Current link capacity in bits per second."""
+        return self.config.trace.capacity_at(self.sim.now)
+
+    @property
+    def base_rtt(self) -> float:
+        """Propagation-only round-trip time (no queueing)."""
+        return 2 * self.config.propagation_delay

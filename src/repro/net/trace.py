@@ -1,0 +1,94 @@
+"""Time-varying bandwidth traces.
+
+A :class:`BandwidthTrace` is a step function from simulation time to
+link capacity in bits per second.  Traces either come from the synthetic
+scenario generators in :mod:`repro.traces` (stationary / walking /
+driving, per Appendix D of the paper) or are built inline for the
+controlled experiments (e.g. the capacity drop in Figure 11).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+
+class BandwidthTrace:
+    """Piecewise-constant capacity over time.
+
+    Samples are ``(time_seconds, bits_per_second)`` pairs sorted by
+    time.  Capacity before the first sample equals the first sample's
+    value; after the last sample the trace either holds the final value
+    or wraps around (loops), matching how trace-driven emulators replay
+    drive logs for calls longer than the log.
+    """
+
+    def __init__(
+        self,
+        samples: Iterable[Tuple[float, float]],
+        loop: bool = False,
+    ) -> None:
+        pairs: List[Tuple[float, float]] = sorted(samples)
+        if not pairs:
+            raise ValueError("trace requires at least one sample")
+        for _, bps in pairs:
+            if bps < 0:
+                raise ValueError("capacity must be non-negative")
+        self._times = [t for t, _ in pairs]
+        self._values = [v for _, v in pairs]
+        if self._times[0] != 0.0:
+            # Anchor the trace at t=0 so lookups before the first sample
+            # are well defined.
+            self._times.insert(0, 0.0)
+            self._values.insert(0, self._values[0])
+        self.loop = loop
+        self.duration = self._times[-1]
+
+    @classmethod
+    def constant(cls, bps: float) -> "BandwidthTrace":
+        """A trace with fixed capacity ``bps``."""
+        return cls([(0.0, bps)])
+
+    def capacity_at(self, time: float) -> float:
+        """Return the capacity in bits/second at simulation ``time``."""
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        if self.loop and self.duration > 0:
+            time = time % self.duration
+        index = bisect.bisect_right(self._times, time) - 1
+        return self._values[max(index, 0)]
+
+    def mean_capacity(self, start: float = 0.0, end: float | None = None) -> float:
+        """Time-weighted mean capacity over ``[start, end]``."""
+        if end is None:
+            end = self.duration if self.duration > 0 else start + 1.0
+        if end <= start:
+            raise ValueError("end must be greater than start")
+        total = 0.0
+        t = start
+        while t < end:
+            index = bisect.bisect_right(self._times, t) - 1
+            next_change = (
+                self._times[index + 1]
+                if index + 1 < len(self._times)
+                else float("inf")
+            )
+            span_end = min(end, next_change)
+            total += self.capacity_at(t) * (span_end - t)
+            if span_end == t:  # guard against zero-width steps
+                span_end = end
+            t = span_end
+        return total / (end - start)
+
+    def samples(self) -> Sequence[Tuple[float, float]]:
+        """Return the underlying ``(time, bps)`` samples."""
+        return list(zip(self._times, self._values))
+
+    def scaled(self, factor: float) -> "BandwidthTrace":
+        """Return a copy with every capacity multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return BandwidthTrace(
+            [(t, v * factor) for t, v in zip(self._times, self._values)],
+            loop=self.loop,
+        )

@@ -1,0 +1,281 @@
+"""Bounded frame buffer feeding the decoder in dependency order.
+
+Implements the WebRTC semantics of §2.1: completed frames queue here
+until the decoder can consume them in order; the buffer purges old
+frames when full, and when a frame goes missing it drops the dependent
+delta frames and asks for a keyframe — the mechanism behind the frame
+drop / keyframe-request explosions Table 1 shows for naive multipath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.simulation.events import Event
+from repro.simulation.simulator import Simulator
+from repro.video.decoder import AssembledFrame, DecoderModel
+
+
+@dataclass
+class FrameBufferConfig:
+    """Capacity/timing knobs for the frame buffer and decode stage."""
+
+    # WebRTC's frame buffer holds up to 800 frames; the bound exists
+    # to cap memory, not to pace the decoder.  It must comfortably
+    # exceed wait_timeout * frame_rate or purges cannibalize completed
+    # frames while the decoder waits for a missing one.
+    capacity_frames: int = 300
+    # How long to wait for a missing frame before declaring it lost.
+    # WebRTC's kMaxWaitForFrameMs is 3000: the decoder stalls (the
+    # user sees a freeze) but the reference chain survives anything
+    # NACK can eventually repair — hard drops and keyframe requests
+    # are a last resort, which is why the paper's keyframe-request
+    # counts are single digits over 3-minute calls.
+    wait_timeout: float = 3.0
+    # Fixed decoder processing time per frame.
+    decode_delay: float = 0.010
+    # Extra latency when a frame needed FEC recovery (§2.1: FEC
+    # decoding incurs non-negligible latency).
+    fec_decode_penalty: float = 0.015
+
+    def __post_init__(self) -> None:
+        if self.capacity_frames < 2:
+            raise ValueError("frame buffer needs capacity >= 2")
+        if self.wait_timeout <= 0:
+            raise ValueError("wait timeout must be positive")
+
+
+@dataclass
+class FrameBufferStats:
+    frames_inserted: int = 0
+    frames_decoded: int = 0
+    frames_dropped: int = 0
+    purges: int = 0
+    resyncs: int = 0
+
+
+class FrameBuffer:
+    """Orders assembled frames and drives the decoder."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        decoder: DecoderModel,
+        config: FrameBufferConfig | None = None,
+        on_render: Optional[Callable[[AssembledFrame, float], None]] = None,
+        on_keyframe_needed: Optional[Callable[[], None]] = None,
+        on_frame_declared_lost: Optional[Callable[[int], None]] = None,
+        on_insert: Optional[Callable[[AssembledFrame, float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.decoder = decoder
+        self.config = config or FrameBufferConfig()
+        self.stats = FrameBufferStats()
+        self._on_render = on_render
+        self._on_keyframe_needed = on_keyframe_needed
+        self._on_frame_declared_lost = on_frame_declared_lost
+        self._on_insert = on_insert
+        self._frames: Dict[int, AssembledFrame] = {}
+        # Frames the session declared unrecoverable (e.g. completed
+        # past the playout deadline): the decode loop treats a gap made
+        # only of tombstones as a confirmed chain break instead of
+        # waiting out the missing-frame timer.
+        self._tombstones: set = set()
+        self._last_insert_time: Optional[float] = None
+        self.last_ifd: Optional[float] = None
+        self._awaiting_keyframe = True  # nothing decoded yet
+        self._timeout_event: Optional[Event] = None
+        self._blocked_on: Optional[int] = None
+
+    # -- ingest -----------------------------------------------------------
+
+    def insert(self, frame: AssembledFrame) -> None:
+        """Add a completed frame; may trigger decodes or drops."""
+        now = self.sim.now
+        if self._last_insert_time is not None:
+            self.last_ifd = now - self._last_insert_time
+        self._last_insert_time = now
+        self.stats.frames_inserted += 1
+        if self._on_insert is not None:
+            self._on_insert(frame, now)
+
+        already_passed = (
+            self.decoder.last_decoded_frame_id is not None
+            and frame.frame_id <= self.decoder.last_decoded_frame_id
+        )
+        if already_passed:
+            self.stats.frames_dropped += 1
+            return
+        if self._awaiting_keyframe and not frame.is_keyframe:
+            # Undecodable until a keyframe resynchronizes the chain.
+            self.stats.frames_dropped += 1
+            return
+
+        self._frames[frame.frame_id] = frame
+        self._purge_if_full()
+        self._try_decode()
+
+    # -- decode loop --------------------------------------------------------
+
+    def _try_decode(self) -> None:
+        progressed = True
+        while progressed and self._frames:
+            progressed = False
+            head_id = min(self._frames)
+            head = self._frames[head_id]
+            if self._awaiting_keyframe:
+                key_id = self._earliest_keyframe_id()
+                if key_id is None:
+                    break
+                self._drop_frames_before(key_id)
+                keyframe = self._frames.pop(key_id)
+                self.decoder.reset_to_keyframe(keyframe)
+                self._awaiting_keyframe = False
+                self.stats.resyncs += 1
+                self._render(keyframe)
+                progressed = True
+                continue
+            if self.decoder.can_decode(head):
+                del self._frames[head_id]
+                self.decoder.decode(head)
+                self._render(head)
+                progressed = True
+                continue
+            key_id = self._earliest_keyframe_id()
+            if key_id is not None:
+                # A decodable keyframe lets us jump over any gap; the
+                # frames before it are obsolete once it renders, so
+                # resynchronize immediately instead of waiting out the
+                # missing-frame timer.
+                self._drop_frames_before(key_id)
+                keyframe = self._frames.pop(key_id)
+                self.decoder.reset_to_keyframe(keyframe)
+                self.stats.resyncs += 1
+                self._render(keyframe)
+                progressed = True
+                continue
+            # Blocked: either a predecessor frame is missing or the
+            # head frame is undecodable (missing SPS for its GOP).
+            if self._gap_is_tombstoned(head_id):
+                self._handle_confirmed_loss(head_id)
+                progressed = True
+                continue
+            self._arm_timeout(head_id)
+            break
+        if not self._frames:
+            self._disarm_timeout()
+
+    def _render(self, frame: AssembledFrame) -> None:
+        self.stats.frames_decoded += 1
+        delay = self.config.decode_delay
+        if frame.fec_recovered:
+            delay += self.config.fec_decode_penalty
+        render_time = self.sim.now + delay
+        if self._on_render is not None:
+            self._on_render(frame, render_time)
+
+    # -- loss handling --------------------------------------------------------
+
+    def _arm_timeout(self, blocked_on: int) -> None:
+        if self._blocked_on == blocked_on and self._timeout_event is not None:
+            return
+        self._disarm_timeout()
+        self._blocked_on = blocked_on
+        self._timeout_event = self.sim.schedule(
+            self.config.wait_timeout, lambda: self._on_timeout(blocked_on)
+        )
+
+    def _disarm_timeout(self) -> None:
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        self._blocked_on = None
+
+    def _on_timeout(self, blocked_on: int) -> None:
+        if self._blocked_on != blocked_on:
+            return
+        self._timeout_event = None
+        self._blocked_on = None
+        if blocked_on not in self._frames:
+            return
+        self._handle_confirmed_loss(blocked_on)
+
+    def _handle_confirmed_loss(self, blocked_on: int) -> None:
+        """The chain before (or into) ``blocked_on`` is broken for
+        good: declare the missing predecessor lost and resynchronize."""
+        missing_id = blocked_on
+        if self.decoder.last_decoded_frame_id is not None:
+            missing_id = self.decoder.last_decoded_frame_id + 1
+        if self._on_frame_declared_lost is not None:
+            self._on_frame_declared_lost(missing_id)
+        key_id = self._earliest_keyframe_id()
+        if key_id is not None:
+            self._drop_frames_before(key_id)
+            self._awaiting_keyframe = True
+            self._try_decode()
+            return
+        # No keyframe buffered: drop the stale deltas, freeze, and ask
+        # the sender for a keyframe.
+        dropped = len(self._frames)
+        self.stats.frames_dropped += dropped
+        self._frames.clear()
+        self._awaiting_keyframe = True
+        if self._on_keyframe_needed is not None:
+            self._on_keyframe_needed()
+
+    def declare_unrecoverable(self, frame_id: int) -> None:
+        """Tombstone a frame that will never be inserted (e.g. it
+        completed past the playout deadline)."""
+        last = self.decoder.last_decoded_frame_id
+        if last is not None and frame_id <= last:
+            return
+        self._tombstones.add(frame_id)
+        if len(self._tombstones) > 1024:
+            horizon = max(self._tombstones) - 512
+            self._tombstones = {f for f in self._tombstones if f >= horizon}
+        self._try_decode()
+
+    def _gap_is_tombstoned(self, head_id: int) -> bool:
+        """True when every missing frame before ``head_id`` is known
+        dead, so waiting for it is pointless."""
+        last = self.decoder.last_decoded_frame_id
+        if last is None:
+            return False
+        gap = range(last + 1, head_id)
+        if not gap:
+            return False
+        return all(f in self._tombstones for f in gap)
+
+    def _earliest_keyframe_id(self) -> Optional[int]:
+        keys = [
+            fid
+            for fid, frame in self._frames.items()
+            if frame.is_keyframe and frame.has_pps and frame.has_sps
+        ]
+        return min(keys) if keys else None
+
+    def _drop_frames_before(self, frame_id: int) -> None:
+        stale = [fid for fid in self._frames if fid < frame_id]
+        for fid in stale:
+            del self._frames[fid]
+        self.stats.frames_dropped += len(stale)
+
+    def _purge_if_full(self) -> None:
+        while len(self._frames) > self.config.capacity_frames:
+            oldest = min(self._frames)
+            del self._frames[oldest]
+            self.stats.frames_dropped += 1
+            self.stats.purges += 1
+            if self._on_frame_declared_lost is not None:
+                self._on_frame_declared_lost(oldest)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def awaiting_keyframe(self) -> bool:
+        return self._awaiting_keyframe

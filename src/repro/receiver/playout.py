@@ -1,0 +1,91 @@
+"""Adaptive playout smoothing (optional, NetEQ-style).
+
+Real receivers do not render a frame the instant it decodes: they hold
+a small adaptive playout delay so that frame pacing stays smooth when
+network jitter makes completion times uneven.  The delay tracks a high
+quantile of recent network latency (capture to completion) plus a
+margin, growing quickly on late frames and draining slowly — the same
+asymmetry WebRTC's NetEQ/jitter-delay estimator uses.
+
+Disabled by default in the reproduction (the paper's QoE metrics are
+about delivery, and a smoothing buffer masks the IFD signal Converge
+feeds on); enable via ``ReceiverConfig.adaptive_playout`` to study the
+smoothness/latency trade.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from repro.video.decoder import AssembledFrame
+
+
+@dataclass
+class PlayoutConfig:
+    """Tuning for the adaptive playout delay."""
+
+    min_delay: float = 0.01
+    max_delay: float = 0.5
+    # Quantile of recent completion latency the delay must cover.
+    quantile: float = 0.95
+    margin: float = 0.01
+    window: int = 120  # frames (~4 s at 30 fps)
+    # Asymmetric adaptation: jump up fast, drain slowly.
+    raise_gain: float = 1.0
+    drain_gain: float = 0.05
+
+
+@dataclass
+class AdaptivePlayout:
+    """Tracks a target playout delay and schedules render times."""
+
+    config: PlayoutConfig = field(default_factory=PlayoutConfig)
+    _latencies: Deque[float] = field(default_factory=deque)
+    _delay: float = 0.0
+    _last_render_time: float = -1.0
+
+    def __post_init__(self) -> None:
+        self._delay = self.config.min_delay
+
+    @property
+    def delay(self) -> float:
+        """The current target playout delay in seconds."""
+        return self._delay
+
+    def observe(self, frame: AssembledFrame, now: float) -> None:
+        """Record a completed frame's network latency and adapt."""
+        latency = max(now - frame.capture_time, 0.0)
+        self._latencies.append(latency)
+        while len(self._latencies) > self.config.window:
+            self._latencies.popleft()
+        # A frame later than the current delay would have underflowed
+        # the playout buffer: react to it directly, not only to the
+        # windowed quantile (NetEQ reacts to peaks the same way).
+        target = max(self._quantile(), latency) + self.config.margin
+        if target > self._delay:
+            self._delay += self.config.raise_gain * (target - self._delay)
+        else:
+            self._delay += self.config.drain_gain * (target - self._delay)
+        self._delay = min(
+            max(self._delay, self.config.min_delay), self.config.max_delay
+        )
+
+    def render_time(self, frame: AssembledFrame, decode_done: float) -> float:
+        """When to show ``frame``: honours the playout delay and never
+        goes backwards (frames render in order, monotonically)."""
+        scheduled = max(decode_done, frame.capture_time + self._delay)
+        if self._last_render_time >= 0:
+            scheduled = max(scheduled, self._last_render_time + 1e-6)
+        self._last_render_time = scheduled
+        return scheduled
+
+    def _quantile(self) -> float:
+        if not self._latencies:
+            return self.config.min_delay
+        ordered = sorted(self._latencies)
+        index = min(
+            int(self.config.quantile * len(ordered)), len(ordered) - 1
+        )
+        return ordered[index]

@@ -1,0 +1,134 @@
+"""RTP packet model and the Table 2 priority taxonomy."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+FRAME_TYPE_KEY = "key"
+FRAME_TYPE_DELTA = "delta"
+
+# RTP fixed header (12 bytes) + the Converge multipath extension header
+# of Fig. 18 (profile id/length word + path id + mp-seq + mp-transport-seq
+# one-byte extensions, padded) — kept as named constants so size
+# accounting in the emulator matches the serialized wire format.
+RTP_BASE_HEADER_BYTES = 12
+MULTIPATH_EXTENSION_BYTES = 12
+RTP_HEADER_BYTES = RTP_BASE_HEADER_BYTES + MULTIPATH_EXTENSION_BYTES
+
+DEFAULT_MTU_PAYLOAD = 1200
+
+
+class PacketType(Enum):
+    """What an RTP packet carries, per the paper's Table 2 taxonomy."""
+
+    MEDIA = "media"  # delta-frame media payload (no priority level)
+    KEYFRAME = "keyframe"  # media payload belonging to a keyframe
+    SPS = "sps"  # sequence parameter set (one per group of frames)
+    PPS = "pps"  # picture parameter set (one per frame)
+    FEC = "fec"  # XOR forward-error-correction packet
+    RETRANSMISSION = "rtx"  # NACK-triggered retransmission
+
+
+# Table 2: priority levels, 1 = highest.  Plain delta-frame media
+# packets carry no priority level (``None``) and are load-balanced by
+# Eq. 1 instead of pinned to the fast path.
+_PRIORITY = {
+    PacketType.RETRANSMISSION: 1,
+    PacketType.KEYFRAME: 2,
+    PacketType.SPS: 3,
+    PacketType.PPS: 4,
+    PacketType.FEC: 5,
+    PacketType.MEDIA: None,
+}
+
+
+def priority_of(packet_type: PacketType) -> Optional[int]:
+    """Return the Table 2 priority level (1 highest) or ``None``."""
+    return _PRIORITY[packet_type]
+
+
+_packet_uid = itertools.count()
+
+
+@dataclass
+class RtpPacket:
+    """One RTP packet, carrying media, parameter sets, or FEC.
+
+    ``seq`` is the stream-global 16-bit sequence number; ``mp_seq`` and
+    ``mp_transport_seq`` are the per-path numbers from the Converge
+    header extension and are assigned by the scheduler when the packet
+    is bound to a path.
+    """
+
+    ssrc: int
+    seq: int
+    timestamp: int
+    frame_id: int
+    frame_type: str
+    packet_type: PacketType
+    payload_size: int
+    first_in_frame: bool = False
+    last_in_frame: bool = False
+    capture_time: float = 0.0
+    # Group-of-pictures id: ties delta frames to their SPS.
+    gop_id: int = -1
+    # Multipath extension fields (Fig. 18); -1 until bound to a path.
+    path_id: int = -1
+    mp_seq: int = -1
+    mp_transport_seq: int = -1
+    # FEC packets record which media sequence numbers they protect.
+    protected_seqs: List[int] = field(default_factory=list)
+    # Simulation-side stand-in for the XOR payload: references to the
+    # protected packets so a recovery can reconstruct the original
+    # packet exactly, as the byte-level codec would.
+    protected_packets: List["RtpPacket"] = field(default_factory=list)
+    # For retransmissions: the seq of the original packet.
+    original_seq: Optional[int] = None
+    send_time: float = -1.0
+    uid: int = field(default_factory=lambda: next(_packet_uid))
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 0:
+            raise ValueError("payload size must be non-negative")
+        if self.frame_type not in (FRAME_TYPE_KEY, FRAME_TYPE_DELTA):
+            raise ValueError(f"unknown frame type: {self.frame_type}")
+
+    @property
+    def size_bytes(self) -> int:
+        """On-the-wire size including RTP + multipath extension headers."""
+        return RTP_HEADER_BYTES + self.payload_size
+
+    @property
+    def priority(self) -> Optional[int]:
+        """Table 2 priority level, 1 = highest, ``None`` = plain media."""
+        return priority_of(self.packet_type)
+
+    @property
+    def is_priority(self) -> bool:
+        return self.priority is not None
+
+    @property
+    def is_media(self) -> bool:
+        """True for packets the decoder needs (everything but FEC)."""
+        return self.packet_type is not PacketType.FEC
+
+    def clone_for_retransmission(self, new_seq: int, now: float) -> "RtpPacket":
+        """Build the RTX copy of this packet (Table 2 priority 1)."""
+        return RtpPacket(
+            ssrc=self.ssrc,
+            seq=new_seq,
+            timestamp=self.timestamp,
+            frame_id=self.frame_id,
+            frame_type=self.frame_type,
+            packet_type=PacketType.RETRANSMISSION,
+            payload_size=self.payload_size,
+            first_in_frame=self.first_in_frame,
+            last_in_frame=self.last_in_frame,
+            capture_time=self.capture_time,
+            gop_id=self.gop_id,
+            original_seq=self.seq,
+            send_time=now,
+        )

@@ -1,0 +1,114 @@
+"""RTCP message set used by the conferencing system.
+
+Standard WebRTC messages (receiver reports, transport-wide feedback,
+NACK, PLI-style keyframe requests) plus the two messages the paper adds
+in §5: an SDES item carrying the sender's expected frame rate, and the
+Converge QoE feedback message ``(path_id, alpha, FCD)`` of §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class RtcpMessage:
+    """Base class for all RTCP messages; ``path_id`` per Fig. 19."""
+
+    ssrc: int
+    path_id: int
+    send_time: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        # RTCP header (8) + path id word (4); subclasses add payload.
+        return 12
+
+
+@dataclass
+class ReceiverReport(RtcpMessage):
+    """Per-path loss/delay report block (drives GCC's loss controller)."""
+
+    fraction_lost: float = 0.0
+    cumulative_lost: int = 0
+    extended_highest_seq: int = 0
+    extended_highest_mp_seq: int = 0
+    jitter: float = 0.0
+    # Round-trip estimation: echo of the last sender-report timestamp
+    # and the delay since it was received, per RFC 3550.
+    last_sr_timestamp: float = 0.0
+    delay_since_last_sr: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 12 + 28
+
+
+@dataclass
+class TransportFeedback(RtcpMessage):
+    """Transport-wide CC feedback: per-packet arrival times on one path.
+
+    Entries are ``(mp_transport_seq, arrival_time)``; lost packets are
+    reported as ``(seq, -1.0)``.  This is what feeds GCC's delay-based
+    estimator, mirroring WebRTC's transport-cc extension.
+    """
+
+    packets: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 12 + 8 + 2 * len(self.packets)
+
+
+@dataclass
+class Nack(RtcpMessage):
+    """Request retransmission of specific stream-level sequence numbers."""
+
+    seqs: List[int] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 12 + 4 * len(self.seqs)
+
+
+@dataclass
+class KeyframeRequest(RtcpMessage):
+    """PLI-equivalent: the decoder lost sync and needs a new keyframe."""
+
+    frame_id: int = -1
+
+    @property
+    def size_bytes(self) -> int:
+        return 12 + 4
+
+
+@dataclass
+class SdesFrameRate(RtcpMessage):
+    """Sender-to-receiver SDES item announcing the expected frame rate.
+
+    The receiver inverts this to obtain ``IFD_exp`` (§4.2).
+    """
+
+    frame_rate: float = 30.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 12 + 4
+
+
+@dataclass
+class QoeFeedback(RtcpMessage):
+    """The Converge QoE feedback message of §4.2.
+
+    ``alpha`` is the signed early/late packet count for ``path_id``
+    (negative: send fewer packets on that path), ``fcd`` the frame
+    construction delay of the frame that triggered the feedback.
+    """
+
+    alpha: int = 0
+    fcd: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 12 + 8

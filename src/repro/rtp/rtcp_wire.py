@@ -1,0 +1,269 @@
+"""Wire serialization for the full RTCP message set.
+
+The simulation moves message objects, but the deployed system (§5)
+puts these on the wire; the formats here make the reproduction's
+protocol concrete and testable:
+
+- every Converge RTCP packet carries the path-id word of Fig. 19,
+- transport-wide feedback uses a base-time + per-packet delta encoding
+  (the shape of WebRTC's transport-cc feedback),
+- NACK uses RFC 4585's PID/BLP pairs,
+- the two new messages of §5 — the sender's expected-frame-rate SDES
+  item and the receiver's QoE feedback triple — get their own payload
+  types in the application-specific range,
+- compound packets concatenate messages, as RTCP requires.
+
+All formats round-trip; quantization (arrival times to 250 us, FCD to
+1 ms) is bounded and tested.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple, Union
+
+from repro.rtp.rtcp import (
+    KeyframeRequest,
+    Nack,
+    QoeFeedback,
+    ReceiverReport,
+    RtcpMessage,
+    SdesFrameRate,
+    TransportFeedback,
+)
+
+RTP_VERSION = 2
+
+# Payload types: 205/206 are transport/payload-specific feedback per
+# RFC 4585; 204 (APP) hosts the two Converge-specific messages with a
+# subtype in the FMT field.
+PT_TRANSPORT_FEEDBACK = 205
+PT_NACK = 208  # private extension slot to keep the demo parser simple
+PT_PLI = 206
+PT_APP = 204
+APP_SUBTYPE_SDES_FRAMERATE = 1
+APP_SUBTYPE_QOE_FEEDBACK = 2
+
+_ARRIVAL_TICK = 0.00025  # 250 us resolution for arrival deltas
+_FCD_TICK = 0.001
+
+WireMessage = Union[
+    TransportFeedback, Nack, KeyframeRequest, SdesFrameRate, QoeFeedback
+]
+
+
+def _header(packet_type: int, fmt: int, body_len: int) -> bytes:
+    if body_len % 4 != 0:
+        raise ValueError("RTCP body must be 32-bit aligned")
+    words = body_len // 4
+    return struct.pack(
+        "!BBH", (RTP_VERSION << 6) | (fmt & 0x1F), packet_type, words
+    )
+
+
+def _common_body(message: RtcpMessage) -> bytes:
+    return struct.pack(
+        "!Ii", message.ssrc & 0xFFFFFFFF, message.path_id
+    )
+
+
+def pack_transport_feedback(message: TransportFeedback) -> bytes:
+    """Serialize per-path transport-wide feedback.
+
+    Layout after the common (ssrc, path id) words: base transport seq
+    (u32), packet count (u16), pad (u16), base arrival time in ticks
+    (u64), then per packet: seq delta from base (u16) and arrival
+    delta from base in ticks (u32, saturating).
+    """
+    packets = sorted(message.packets)
+    if packets:
+        base_seq = packets[0][0]
+        base_time = min(arrival for _, arrival in packets)
+    else:
+        base_seq = 0
+        base_time = 0.0
+    body = bytearray()
+    body += _common_body(message)
+    body += struct.pack(
+        "!IHHQ",
+        base_seq & 0xFFFFFFFF,
+        len(packets),
+        0,
+        int(base_time / _ARRIVAL_TICK),
+    )
+    for seq, arrival in packets:
+        seq_delta = seq - base_seq
+        if not 0 <= seq_delta < 1 << 16:
+            raise ValueError(f"seq delta out of range: {seq_delta}")
+        tick_delta = int(round((arrival - base_time) / _ARRIVAL_TICK))
+        body += struct.pack("!HxxI", seq_delta, min(tick_delta, 0xFFFFFFFF))
+    return _header(PT_TRANSPORT_FEEDBACK, 15, len(body)) + bytes(body)
+
+
+def unpack_transport_feedback(data: bytes) -> TransportFeedback:
+    ssrc, path_id = struct.unpack("!Ii", data[4:12])
+    base_seq, count, _, base_ticks = struct.unpack("!IHHQ", data[12:28])
+    if len(data) < 28 + 8 * count:
+        raise ValueError("transport feedback count overruns the packet")
+    base_time = base_ticks * _ARRIVAL_TICK
+    packets: List[Tuple[int, float]] = []
+    offset = 28
+    for _ in range(count):
+        seq_delta, tick_delta = struct.unpack("!HxxI", data[offset:offset + 8])
+        packets.append(
+            (base_seq + seq_delta, base_time + tick_delta * _ARRIVAL_TICK)
+        )
+        offset += 8
+    return TransportFeedback(ssrc=ssrc, path_id=path_id, packets=packets)
+
+
+def pack_nack(message: Nack) -> bytes:
+    """RFC 4585 generic NACK: (PID, BLP) pairs after the common words."""
+    seqs = sorted(set(message.seqs))
+    pairs: List[Tuple[int, int]] = []
+    index = 0
+    while index < len(seqs):
+        pid = seqs[index]
+        blp = 0
+        index += 1
+        while index < len(seqs) and seqs[index] - pid <= 16:
+            blp |= 1 << (seqs[index] - pid - 1)
+            index += 1
+        pairs.append((pid, blp))
+    body = bytearray(_common_body(message))
+    for pid, blp in pairs:
+        if not 0 <= pid < 1 << 16:
+            raise ValueError(f"NACK PID out of range: {pid}")
+        body += struct.pack("!HH", pid, blp)
+    return _header(PT_NACK, 1, len(body)) + bytes(body)
+
+
+def unpack_nack(data: bytes) -> Nack:
+    ssrc, path_id = struct.unpack("!Ii", data[4:12])
+    seqs: List[int] = []
+    offset = 12
+    while offset < len(data):
+        pid, blp = struct.unpack("!HH", data[offset:offset + 4])
+        seqs.append(pid)
+        for bit in range(16):
+            if blp & (1 << bit):
+                seqs.append(pid + bit + 1)
+        offset += 4
+    return Nack(ssrc=ssrc, path_id=path_id, seqs=seqs)
+
+
+def pack_keyframe_request(message: KeyframeRequest) -> bytes:
+    body = _common_body(message) + struct.pack("!i", message.frame_id)
+    return _header(PT_PLI, 1, len(body)) + body
+
+
+def unpack_keyframe_request(data: bytes) -> KeyframeRequest:
+    ssrc, path_id = struct.unpack("!Ii", data[4:12])
+    (frame_id,) = struct.unpack("!i", data[12:16])
+    return KeyframeRequest(ssrc=ssrc, path_id=path_id, frame_id=frame_id)
+
+
+def pack_sdes_frame_rate(message: SdesFrameRate) -> bytes:
+    body = _common_body(message) + struct.pack(
+        "!I", int(round(message.frame_rate * 256))
+    )
+    return _header(PT_APP, APP_SUBTYPE_SDES_FRAMERATE, len(body)) + body
+
+
+def unpack_sdes_frame_rate(data: bytes) -> SdesFrameRate:
+    ssrc, path_id = struct.unpack("!Ii", data[4:12])
+    (fixed_point,) = struct.unpack("!I", data[12:16])
+    return SdesFrameRate(
+        ssrc=ssrc, path_id=path_id, frame_rate=fixed_point / 256
+    )
+
+
+def pack_qoe_feedback(message: QoeFeedback) -> bytes:
+    """The §4.2 triple: (path id, alpha, FCD)."""
+    if not -(1 << 15) <= message.alpha < 1 << 15:
+        raise ValueError(f"alpha out of range: {message.alpha}")
+    body = _common_body(message) + struct.pack(
+        "!hxxI", message.alpha, int(round(message.fcd / _FCD_TICK))
+    )
+    return _header(PT_APP, APP_SUBTYPE_QOE_FEEDBACK, len(body)) + body
+
+
+def unpack_qoe_feedback(data: bytes) -> QoeFeedback:
+    ssrc, path_id = struct.unpack("!Ii", data[4:12])
+    alpha, fcd_ticks = struct.unpack("!hxxI", data[12:20])
+    return QoeFeedback(
+        ssrc=ssrc, path_id=path_id, alpha=alpha, fcd=fcd_ticks * _FCD_TICK
+    )
+
+
+def pack_message(message: WireMessage) -> bytes:
+    """Serialize any supported RTCP message."""
+    if isinstance(message, TransportFeedback):
+        return pack_transport_feedback(message)
+    if isinstance(message, Nack):
+        return pack_nack(message)
+    if isinstance(message, KeyframeRequest):
+        return pack_keyframe_request(message)
+    if isinstance(message, SdesFrameRate):
+        return pack_sdes_frame_rate(message)
+    if isinstance(message, QoeFeedback):
+        return pack_qoe_feedback(message)
+    raise TypeError(f"unsupported RTCP message: {type(message).__name__}")
+
+
+def unpack_message(data: bytes) -> WireMessage:
+    """Parse one RTCP message (consumes exactly one packet's bytes).
+
+    Malformed input of any kind — truncation, a length field larger
+    than the buffer, an inner count that overruns the payload — raises
+    :class:`ValueError`; these parsers face the network and must never
+    surface ``struct.error`` or ``IndexError``.
+    """
+    if len(data) < 4:
+        raise ValueError("truncated RTCP packet")
+    first, packet_type, words = struct.unpack("!BBH", data[:4])
+    if first >> 6 != RTP_VERSION:
+        raise ValueError("bad RTCP version")
+    if len(data) < 4 + 4 * words:
+        raise ValueError(
+            f"RTCP length field claims {4 + 4 * words} bytes, "
+            f"got {len(data)}"
+        )
+    fmt = first & 0x1F
+    try:
+        if packet_type == PT_TRANSPORT_FEEDBACK:
+            return unpack_transport_feedback(data)
+        if packet_type == PT_NACK:
+            return unpack_nack(data)
+        if packet_type == PT_PLI:
+            return unpack_keyframe_request(data)
+        if packet_type == PT_APP and fmt == APP_SUBTYPE_SDES_FRAMERATE:
+            return unpack_sdes_frame_rate(data)
+        if packet_type == PT_APP and fmt == APP_SUBTYPE_QOE_FEEDBACK:
+            return unpack_qoe_feedback(data)
+    except struct.error as exc:
+        raise ValueError(f"malformed RTCP packet: {exc}") from exc
+    raise ValueError(f"unknown RTCP packet type {packet_type}/{fmt}")
+
+
+def pack_compound(messages: List[WireMessage]) -> bytes:
+    """Concatenate messages into one compound RTCP packet."""
+    if not messages:
+        raise ValueError("compound packet needs at least one message")
+    return b"".join(pack_message(m) for m in messages)
+
+
+def unpack_compound(data: bytes) -> List[WireMessage]:
+    """Split and parse a compound RTCP packet."""
+    messages: List[WireMessage] = []
+    offset = 0
+    while offset < len(data):
+        if len(data) - offset < 4:
+            raise ValueError("trailing garbage in compound packet")
+        (_, _, words) = struct.unpack("!BBH", data[offset:offset + 4])
+        end = offset + 4 + 4 * words
+        if end > len(data):
+            raise ValueError("truncated message in compound packet")
+        messages.append(unpack_message(data[offset:end]))
+        offset = end
+    return messages

@@ -1,0 +1,69 @@
+"""16-bit RTP sequence-number arithmetic.
+
+RTP sequence numbers wrap at 2**16; comparing them naively breaks as
+soon as a call lasts more than ~65k packets.  These helpers implement
+RFC 1982 serial-number arithmetic plus an unwrapper that maps wrapped
+numbers onto a monotonically extended 64-bit space.
+"""
+
+from __future__ import annotations
+
+SEQ_MOD = 1 << 16
+_HALF = SEQ_MOD // 2
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Return the signed distance ``a - b`` in wrap-around space.
+
+    The result is in ``[-2**15, 2**15)``: positive when ``a`` is ahead
+    of ``b``, negative when behind.
+    """
+    return ((a - b + _HALF) % SEQ_MOD) - _HALF
+
+
+def seq_less_than(a: int, b: int) -> bool:
+    """``True`` when ``a`` precedes ``b`` in wrap-around order."""
+    return seq_diff(a, b) < 0
+
+
+def seq_add(a: int, delta: int) -> int:
+    """Advance ``a`` by ``delta`` with wrap-around."""
+    return (a + delta) % SEQ_MOD
+
+
+def unwrap_near(seq: int, reference: int) -> int:
+    """Unwrap 16-bit ``seq`` to the value nearest unwrapped ``reference``.
+
+    Used for sequence numbers carried inside other packets (e.g. the
+    protected-seq list of a FEC packet): they are always close to the
+    receiver's current position, so the nearest interpretation is the
+    correct one.
+    """
+    if not 0 <= seq < SEQ_MOD:
+        raise ValueError(f"sequence number out of range: {seq}")
+    return reference + seq_diff(seq, reference % SEQ_MOD)
+
+
+class SequenceUnwrapper:
+    """Maps wrapped 16-bit sequence numbers to an unbounded space.
+
+    The first observed number anchors the space.  Subsequent numbers
+    are interpreted as whichever unwrapped value is nearest the last
+    observed one, which tolerates reordering up to half the sequence
+    space (32k packets) — far more than any real jitter buffer.
+    """
+
+    def __init__(self) -> None:
+        self._last_wrapped: int | None = None
+        self._last_unwrapped: int = 0
+
+    def unwrap(self, seq: int) -> int:
+        if not 0 <= seq < SEQ_MOD:
+            raise ValueError(f"sequence number out of range: {seq}")
+        if self._last_wrapped is None:
+            self._last_wrapped = seq
+            self._last_unwrapped = seq
+            return seq
+        self._last_unwrapped += seq_diff(seq, self._last_wrapped)
+        self._last_wrapped = seq
+        return self._last_unwrapped

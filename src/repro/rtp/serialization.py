@@ -1,0 +1,191 @@
+"""Byte-level serialization of the extended RTP/RTCP headers.
+
+Implements the wire formats of Appendix B (Fig. 18: RTP one-byte header
+extension carrying path id, multipath sequence number and multipath
+transport sequence number) and Appendix C (Fig. 19: RTCP header with a
+path-id word and per-path extended highest sequence numbers).
+
+The emulator itself moves packet objects, not bytes — but the formats
+must exist and round-trip so the reproduction is faithful to the
+protocol the paper deploys, and header sizes used for bandwidth
+accounting come from here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+RTP_VERSION = 2
+# One-byte-extension profile id from RFC 8285.
+EXTENSION_PROFILE_ONE_BYTE = 0xBEDE
+
+# Extension element ids used by the Converge header (Fig. 18).
+EXT_ID_PATH = 1
+EXT_ID_MP_SEQ = 2
+EXT_ID_MP_TRANSPORT_SEQ = 3
+
+RTCP_PT_CONVERGE_RR = 205  # transport-layer feedback class
+
+
+@dataclass
+class RtpWireHeader:
+    """The fields of a serialized Converge RTP header."""
+
+    seq: int
+    timestamp: int
+    ssrc: int
+    marker: bool
+    payload_type: int
+    path_id: int
+    mp_seq: int
+    mp_transport_seq: int
+
+
+def pack_rtp_header(header: RtpWireHeader) -> bytes:
+    """Serialize the RTP fixed header + Converge multipath extension."""
+    if not 0 <= header.seq < 1 << 16:
+        raise ValueError("seq out of range")
+    if not 0 <= header.mp_seq < 1 << 16:
+        raise ValueError("mp_seq out of range")
+    if not 0 <= header.mp_transport_seq < 1 << 16:
+        raise ValueError("mp_transport_seq out of range")
+    if not 0 <= header.path_id < 1 << 8:
+        raise ValueError("path_id out of range")
+    first_byte = (RTP_VERSION << 6) | (1 << 4)  # X=1: extension present
+    second_byte = (int(header.marker) << 7) | (header.payload_type & 0x7F)
+    fixed = struct.pack(
+        "!BBHII",
+        first_byte,
+        second_byte,
+        header.seq,
+        header.timestamp & 0xFFFFFFFF,
+        header.ssrc & 0xFFFFFFFF,
+    )
+    # One-byte extension elements: (id << 4 | len-1), then payload.
+    elements = b"".join(
+        (
+            bytes([(EXT_ID_PATH << 4) | 0]),
+            bytes([header.path_id]),
+            bytes([(EXT_ID_MP_SEQ << 4) | 1]),
+            struct.pack("!H", header.mp_seq),
+            bytes([(EXT_ID_MP_TRANSPORT_SEQ << 4) | 1]),
+            struct.pack("!H", header.mp_transport_seq),
+        )
+    )
+    # Pad to a 32-bit boundary as RFC 8285 requires.
+    padding = (-len(elements)) % 4
+    elements += b"\x00" * padding
+    extension = struct.pack("!HH", EXTENSION_PROFILE_ONE_BYTE, len(elements) // 4)
+    return fixed + extension + elements
+
+
+def unpack_rtp_header(data: bytes) -> RtpWireHeader:
+    """Parse bytes produced by :func:`pack_rtp_header`."""
+    if len(data) < 16:
+        raise ValueError("truncated RTP header")
+    first_byte, second_byte, seq, timestamp, ssrc = struct.unpack(
+        "!BBHII", data[:12]
+    )
+    version = first_byte >> 6
+    if version != RTP_VERSION:
+        raise ValueError(f"bad RTP version: {version}")
+    has_extension = bool(first_byte & 0x10)
+    if not has_extension:
+        raise ValueError("multipath extension missing")
+    marker = bool(second_byte & 0x80)
+    payload_type = second_byte & 0x7F
+    profile, ext_words = struct.unpack("!HH", data[12:16])
+    if profile != EXTENSION_PROFILE_ONE_BYTE:
+        raise ValueError(f"unexpected extension profile: {profile:#x}")
+    elements = data[16 : 16 + 4 * ext_words]
+    path_id = mp_seq = mp_transport_seq = -1
+    offset = 0
+    while offset < len(elements):
+        byte = elements[offset]
+        if byte == 0:  # padding
+            offset += 1
+            continue
+        ext_id = byte >> 4
+        length = (byte & 0x0F) + 1
+        payload = elements[offset + 1 : offset + 1 + length]
+        if ext_id == EXT_ID_PATH:
+            path_id = payload[0]
+        elif ext_id == EXT_ID_MP_SEQ:
+            (mp_seq,) = struct.unpack("!H", payload)
+        elif ext_id == EXT_ID_MP_TRANSPORT_SEQ:
+            (mp_transport_seq,) = struct.unpack("!H", payload)
+        offset += 1 + length
+    if -1 in (path_id, mp_seq, mp_transport_seq):
+        raise ValueError("incomplete multipath extension")
+    return RtpWireHeader(
+        seq=seq,
+        timestamp=timestamp,
+        ssrc=ssrc,
+        marker=marker,
+        payload_type=payload_type,
+        path_id=path_id,
+        mp_seq=mp_seq,
+        mp_transport_seq=mp_transport_seq,
+    )
+
+
+@dataclass
+class RtcpWireReport:
+    """The fields of a serialized Converge RTCP receiver report."""
+
+    ssrc: int
+    path_id: int
+    fraction_lost: float  # [0, 1]
+    cumulative_lost: int
+    extended_highest_seq: int
+    extended_highest_mp_seq: int
+
+
+def pack_rtcp_report(report: RtcpWireReport) -> bytes:
+    """Serialize the extended RTCP receiver report of Fig. 19."""
+    if not 0.0 <= report.fraction_lost <= 1.0:
+        raise ValueError("fraction_lost out of range")
+    header = struct.pack(
+        "!BBH",
+        (RTP_VERSION << 6) | 1,  # RC=1
+        RTCP_PT_CONVERGE_RR,
+        8,  # length in 32-bit words minus one
+    )
+    body = struct.pack(
+        "!IIBI3xII",
+        report.path_id & 0xFFFFFFFF,
+        report.ssrc & 0xFFFFFFFF,
+        int(round(report.fraction_lost * 255)),
+        report.cumulative_lost & 0xFFFFFFFF,
+        report.extended_highest_seq & 0xFFFFFFFF,
+        report.extended_highest_mp_seq & 0xFFFFFFFF,
+    )
+    return header + body
+
+
+def unpack_rtcp_report(data: bytes) -> RtcpWireReport:
+    """Parse bytes produced by :func:`pack_rtcp_report`."""
+    if len(data) < 4 + 24:
+        raise ValueError("truncated RTCP report")
+    first_byte, packet_type, _length = struct.unpack("!BBH", data[:4])
+    if first_byte >> 6 != RTP_VERSION:
+        raise ValueError("bad RTCP version")
+    if packet_type != RTCP_PT_CONVERGE_RR:
+        raise ValueError(f"unexpected RTCP packet type: {packet_type}")
+    (
+        path_id,
+        ssrc,
+        fraction_byte,
+        cumulative_lost,
+        ext_seq,
+        ext_mp_seq,
+    ) = struct.unpack("!IIBI3xII", data[4:32])
+    return RtcpWireReport(
+        ssrc=ssrc,
+        path_id=path_id,
+        fraction_lost=fraction_byte / 255.0,
+        cumulative_lost=cumulative_lost,
+        extended_highest_seq=ext_seq,
+        extended_highest_mp_seq=ext_mp_seq,
+    )

@@ -1,0 +1,199 @@
+"""SRTP-style media protection for multipath (§5).
+
+The paper extends RTP/SRTP so every path carries media under the
+WebRTC-negotiated keys.  This module implements that layer faithfully
+in structure — per-(ssrc, path) session keys derived from one master
+key, keystream encryption, truncated-HMAC authentication covering the
+packet header, RFC 3711 rollover-counter (ROC) estimation so 16-bit
+sequence numbers extend to 48-bit packet indexes, and a per-path
+replay window — while substituting HMAC-SHA256 as the PRF so the
+sandbox needs no cipher library.  Not wire-compatible with RFC 3711,
+but every security-relevant behaviour (tamper detection, replay
+rejection, cross-path key separation, ROC resync) is real and tested.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+SEQ_MOD = 1 << 16
+AUTH_TAG_BYTES = 10
+_KEYSTREAM_BLOCK = 32
+REPLAY_WINDOW = 64
+
+_LABEL_ENCRYPTION = b"converge-srtp-enc"
+_LABEL_AUTH = b"converge-srtp-auth"
+
+
+class SrtpError(Exception):
+    """Authentication or replay failure."""
+
+
+def derive_session_keys(
+    master_key: bytes, ssrc: int, path_id: int
+) -> Tuple[bytes, bytes]:
+    """Per-(ssrc, path) encryption and authentication keys.
+
+    Path-specific keys mean a compromise observed on one network does
+    not expose traffic on the other — the property that makes
+    multipath SRTP more than just replicating one crypto context.
+    """
+    if len(master_key) < 16:
+        raise ValueError("master key must be at least 128 bits")
+    context = struct.pack("!Ii", ssrc & 0xFFFFFFFF, path_id)
+    enc = hmac.new(master_key, _LABEL_ENCRYPTION + context, hashlib.sha256)
+    auth = hmac.new(master_key, _LABEL_AUTH + context, hashlib.sha256)
+    return enc.digest(), auth.digest()
+
+
+def _keystream(key: bytes, index: int, length: int) -> bytes:
+    """Deterministic keystream for packet ``index`` (counter mode)."""
+    blocks = []
+    for counter in range((length + _KEYSTREAM_BLOCK - 1) // _KEYSTREAM_BLOCK):
+        blocks.append(
+            hmac.new(
+                key, struct.pack("!QI", index, counter), hashlib.sha256
+            ).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, keystream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, keystream))
+
+
+@dataclass
+class _ReplayWindow:
+    """RFC 3711 sliding replay window over 48-bit packet indexes."""
+
+    highest: int = -1
+    mask: int = 0
+
+    def check_and_update(self, index: int) -> bool:
+        """True if ``index`` is fresh; records it."""
+        if self.highest < 0:
+            self.highest = index
+            self.mask = 1
+            return True
+        if index > self.highest:
+            shift = index - self.highest
+            self.mask = ((self.mask << shift) | 1) & ((1 << REPLAY_WINDOW) - 1)
+            self.highest = index
+            return True
+        offset = self.highest - index
+        if offset >= REPLAY_WINDOW:
+            return False  # too old to judge: reject
+        bit = 1 << offset
+        if self.mask & bit:
+            return False  # replay
+        self.mask |= bit
+        return True
+
+
+@dataclass
+class SrtpSession:
+    """Protect/unprotect media for one SSRC across multiple paths."""
+
+    master_key: bytes
+    ssrc: int
+    _tx_roc: Dict[int, int] = field(default_factory=dict)
+    _tx_last_seq: Dict[int, int] = field(default_factory=dict)
+    _rx_roc: Dict[int, int] = field(default_factory=dict)
+    _rx_highest_seq: Dict[int, int] = field(default_factory=dict)
+    _replay: Dict[int, _ReplayWindow] = field(default_factory=dict)
+    _keys: Dict[int, Tuple[bytes, bytes]] = field(default_factory=dict)
+
+    def _session_keys(self, path_id: int) -> Tuple[bytes, bytes]:
+        if path_id not in self._keys:
+            self._keys[path_id] = derive_session_keys(
+                self.master_key, self.ssrc, path_id
+            )
+        return self._keys[path_id]
+
+    # -- sender ----------------------------------------------------------
+
+    def protect(self, payload: bytes, seq: int, path_id: int) -> bytes:
+        """Encrypt and authenticate ``payload`` for ``(seq, path_id)``."""
+        if not 0 <= seq < SEQ_MOD:
+            raise ValueError(f"sequence number out of range: {seq}")
+        last = self._tx_last_seq.get(path_id)
+        roc = self._tx_roc.get(path_id, 0)
+        if last is not None and seq < last and last - seq > SEQ_MOD // 2:
+            roc += 1  # sender wrapped around the 16-bit space
+            self._tx_roc[path_id] = roc
+        self._tx_last_seq[path_id] = seq
+        index = roc * SEQ_MOD + seq
+        enc_key, auth_key = self._session_keys(path_id)
+        ciphertext = _xor(payload, _keystream(enc_key, index, len(payload)))
+        tag = self._tag(auth_key, ciphertext, seq, roc)
+        return ciphertext + tag
+
+    # -- receiver -----------------------------------------------------------
+
+    def unprotect(self, protected: bytes, seq: int, path_id: int) -> bytes:
+        """Verify and decrypt; raises :class:`SrtpError` on failure."""
+        if len(protected) < AUTH_TAG_BYTES:
+            raise SrtpError("packet shorter than the auth tag")
+        ciphertext = protected[:-AUTH_TAG_BYTES]
+        tag = protected[-AUTH_TAG_BYTES:]
+        enc_key, auth_key = self._session_keys(path_id)
+        # RFC 3711-style resynchronization: if the primary ROC guess
+        # does not authenticate (the receiver may have missed packets
+        # around a wrap), try the adjacent rollover periods before
+        # declaring the packet forged.
+        estimate = self._estimate_roc(path_id, seq)
+        candidates = [estimate, estimate + 1]
+        if estimate > 0:
+            candidates.append(estimate - 1)
+        roc: Optional[int] = None
+        for candidate in candidates:
+            expected = self._tag(auth_key, ciphertext, seq, candidate)
+            if hmac.compare_digest(tag, expected):
+                roc = candidate
+                break
+        if roc is None:
+            raise SrtpError("authentication failed")
+        index = roc * SEQ_MOD + seq
+        window = self._replay.setdefault(path_id, _ReplayWindow())
+        if not window.check_and_update(index):
+            raise SrtpError(f"replayed packet index {index}")
+        self._commit_roc(path_id, seq, roc)
+        return _xor(ciphertext, _keystream(enc_key, index, len(ciphertext)))
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _tag(auth_key: bytes, ciphertext: bytes, seq: int, roc: int) -> bytes:
+        mac = hmac.new(
+            auth_key,
+            ciphertext + struct.pack("!HI", seq, roc),
+            hashlib.sha256,
+        )
+        return mac.digest()[:AUTH_TAG_BYTES]
+
+    def _estimate_roc(self, path_id: int, seq: int) -> int:
+        """RFC 3711 index guess: pick the ROC candidate whose index is
+        closest to the highest seen."""
+        roc = self._rx_roc.get(path_id, 0)
+        highest = self._rx_highest_seq.get(path_id)
+        if highest is None:
+            return roc
+        if highest < SEQ_MOD // 4:
+            # just past a wrap: an old large seq belongs to roc-1
+            if seq > 3 * SEQ_MOD // 4:
+                return max(roc - 1, 0)
+            return roc
+        if highest > 3 * SEQ_MOD // 4 and seq < SEQ_MOD // 4:
+            return roc + 1  # new seq is past the wrap
+        return roc
+
+    def _commit_roc(self, path_id: int, seq: int, roc: int) -> None:
+        current = self._rx_roc.get(path_id, 0)
+        highest = self._rx_highest_seq.get(path_id, -1)
+        if roc > current or (roc == current and seq > highest):
+            self._rx_roc[path_id] = roc
+            self._rx_highest_seq[path_id] = seq

@@ -1,0 +1,36 @@
+"""Multipath packet schedulers.
+
+One implementation per system evaluated in the paper:
+
+- :class:`ConvergeScheduler` — the video-aware scheduler of §4.1
+  (Algorithm 1 fast-path selection, Table 2 priorities, Eq. 1 media
+  split, Eq. 2 feedback adjustment),
+- :class:`MinRttScheduler` — SRTT: MPTCP/MPQUIC's default minRTT,
+- :class:`ThroughputScheduler` — M-TPUT: Musher-style split
+  proportional to measured per-path throughput,
+- :class:`MprtpScheduler` — M-RTP: MPRTP's loss-adjusted rate split,
+- :class:`SinglePathScheduler` — legacy WebRTC on one network,
+- :class:`ConnectionMigrationScheduler` — WebRTC-CM: one path at a
+  time with drop-and-reconnect migration.
+"""
+
+from repro.scheduling.base import PathSnapshot, Scheduler
+from repro.scheduling.converge import ConvergeScheduler
+from repro.scheduling.srtt import MinRttScheduler
+from repro.scheduling.mtput import ThroughputScheduler
+from repro.scheduling.mprtp import MprtpScheduler
+from repro.scheduling.singlepath import (
+    ConnectionMigrationScheduler,
+    SinglePathScheduler,
+)
+
+__all__ = [
+    "ConnectionMigrationScheduler",
+    "ConvergeScheduler",
+    "MinRttScheduler",
+    "MprtpScheduler",
+    "PathSnapshot",
+    "Scheduler",
+    "SinglePathScheduler",
+    "ThroughputScheduler",
+]

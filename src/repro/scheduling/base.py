@@ -1,0 +1,155 @@
+"""Scheduler interface and the per-path snapshot it consumes."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.rtp.packets import RtpPacket
+
+
+@dataclass
+class PathSnapshot:
+    """The sender's view of one path at scheduling time.
+
+    ``send_rate`` is the per-path GCC target ``S_i`` (bps); ``goodput``
+    the measured receive rate; ``budget_packets`` the per-round packet
+    allowance after Eq. 2 feedback adjustment (``P_i``); ``max_packets``
+    the hard per-round ceiling ``P_max`` derived from ``S_i``.
+    """
+
+    path_id: int
+    srtt: float
+    loss: float
+    send_rate: float
+    goodput: float
+    budget_packets: int
+    max_packets: int
+    enabled: bool = True
+    last_feedback_age: float = 0.0
+
+    def completion_time(self, num_packets: int, packet_size: int) -> float:
+        """Algorithm 1: ``cpt_i = N*k/rate_i + rtt_i/2`` (rate in B/s)."""
+        rate_bytes = max(self.goodput, self.send_rate, 1.0) / 8
+        return num_packets * packet_size / rate_bytes + self.srtt / 2
+
+
+# Sentinel path id: the scheduler decided to shed this packet at the
+# sender (every path is at its P_max ceiling).
+DROP_PATH = -1
+
+Assignment = List[Tuple[RtpPacket, int]]
+
+
+class Scheduler(ABC):
+    """Assigns each packet of a scheduling round to exactly one path."""
+
+    @abstractmethod
+    def assign(
+        self,
+        packets: Sequence[RtpPacket],
+        paths: Sequence[PathSnapshot],
+        now: float,
+    ) -> Assignment:
+        """Return ``(packet, path_id)`` pairs covering every packet."""
+
+    @property
+    def uses_qoe_feedback(self) -> bool:
+        """Whether Eq. 2 budgets should be honoured for this scheduler."""
+        return False
+
+
+class ProportionalSplitter:
+    """Stateful proportional splitter with fractional carry.
+
+    A per-round largest-remainder split systematically starves a path
+    whose share stays below the other paths' fractional parts; carrying
+    the unallocated fraction across rounds preserves every path's
+    long-run proportion, which is what a token-based rate splitter in a
+    real stack does.
+    """
+
+    def __init__(self) -> None:
+        self._carry: dict = {}
+
+    def split(
+        self, total: int, keys: Sequence[object], weights: Sequence[float]
+    ) -> List[int]:
+        """Split ``total`` items across ``keys`` by ``weights``."""
+        if len(keys) != len(weights):
+            raise ValueError("keys and weights must align")
+        base = split_exact(total, weights)
+        want = [
+            exact + self._carry.get(key, 0.0)
+            for exact, key in zip(base, keys)
+        ]
+        alloc = [int(w) for w in want]
+        remainder = total - sum(alloc)
+        if remainder > 0:
+            # Hand leftover items to the largest fractional parts.
+            order = sorted(
+                range(len(keys)), key=lambda i: want[i] - alloc[i], reverse=True
+            )
+            for i in order[:remainder]:
+                alloc[i] += 1
+        elif remainder < 0:
+            # Accumulated carries overshot this round's total: claw
+            # back from the smallest fractional parts first.
+            order = sorted(
+                (i for i in range(len(keys)) if alloc[i] > 0),
+                key=lambda i: want[i] - alloc[i],
+            )
+            index = 0
+            while remainder < 0 and order:
+                i = order[index % len(order)]
+                if alloc[i] > 0:
+                    alloc[i] -= 1
+                    remainder += 1
+                index += 1
+                order = [j for j in order if alloc[j] > 0]
+        for key, w, a in zip(keys, want, alloc):
+            self._carry[key] = min(max(w - a, 0.0), 0.999)
+        return alloc
+
+
+def split_exact(total: int, weights: Sequence[float]) -> List[float]:
+    """Exact (fractional) proportional shares of ``total``."""
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if not weights:
+        raise ValueError("need at least one weight")
+    clamped = [max(w, 0.0) for w in weights]
+    weight_sum = sum(clamped)
+    if weight_sum <= 0:
+        clamped = [1.0] * len(weights)
+        weight_sum = float(len(weights))
+    return [total * w / weight_sum for w in clamped]
+
+
+def split_proportionally(total: int, weights: Sequence[float]) -> List[int]:
+    """Largest-remainder split of ``total`` items by ``weights``.
+
+    Guarantees the parts sum to ``total`` and each part is >= 0; zero
+    or negative weights get nothing unless everything is zero, in
+    which case the split is even.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if not weights:
+        raise ValueError("need at least one weight")
+    clamped = [max(w, 0.0) for w in weights]
+    weight_sum = sum(clamped)
+    if weight_sum <= 0:
+        clamped = [1.0] * len(weights)
+        weight_sum = float(len(weights))
+    exact = [total * w / weight_sum for w in clamped]
+    parts = [int(x) for x in exact]
+    remainder = total - sum(parts)
+    # Distribute leftover items to the largest fractional parts.
+    order = sorted(
+        range(len(weights)), key=lambda i: exact[i] - parts[i], reverse=True
+    )
+    for i in order[:remainder]:
+        parts[i] += 1
+    return parts

@@ -1,0 +1,51 @@
+"""M-RTP: the MPRTP scheduler [71].
+
+MPRTP distributes media over *all* available paths using a loss-based
+estimate of each path's sending capability and provides no
+receiver-side QoE feedback.  We model its split as proportional to
+``S_i * (1 - loss_i)`` with every path kept active regardless of how
+badly it performs — the behaviour behind its worst-in-class frame
+drops in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.rtp.packets import RtpPacket
+from repro.scheduling.base import (
+    Assignment,
+    PathSnapshot,
+    ProportionalSplitter,
+    Scheduler,
+)
+
+
+class MprtpScheduler(Scheduler):
+    """Loss-adjusted rate split across all paths, no feedback."""
+
+    def __init__(self) -> None:
+        self._splitter = ProportionalSplitter()
+
+    def assign(
+        self,
+        packets: Sequence[RtpPacket],
+        paths: Sequence[PathSnapshot],
+        now: float,
+    ) -> Assignment:
+        active = list(paths)  # MPRTP never disables a path
+        # MPRTP has no sender-side feedback loop (§2.2): the split is
+        # an even one, discounted only by each path's reported loss —
+        # it keeps pushing media onto a path whose capacity collapsed
+        # as long as the packets are not being *lost*.
+        weights = [1.0 - min(p.loss, 0.95) for p in active]
+        shares = self._splitter.split(
+            len(packets), [p.path_id for p in active], weights
+        )
+        assignments: Assignment = []
+        index = 0
+        for path, share in zip(active, shares):
+            for _ in range(share):
+                assignments.append((packets[index], path.path_id))
+                index += 1
+        return assignments

@@ -1,0 +1,88 @@
+"""Single-path WebRTC and the connection-migration (CM) variant."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.rtp.packets import RtpPacket
+from repro.scheduling.base import Assignment, PathSnapshot, Scheduler
+
+
+class SinglePathScheduler(Scheduler):
+    """Legacy WebRTC: everything on one fixed network path."""
+
+    def __init__(self, path_id: int) -> None:
+        self.path_id = path_id
+
+    def assign(
+        self,
+        packets: Sequence[RtpPacket],
+        paths: Sequence[PathSnapshot],
+        now: float,
+    ) -> Assignment:
+        return [(packet, self.path_id) for packet in packets]
+
+
+class ConnectionMigrationScheduler(Scheduler):
+    """WebRTC-CM: one active path, drop-and-reconnect on failure (§6).
+
+    The CM system uses a single path at a time; when the active path
+    shows no delivered feedback for ``failure_timeout`` seconds the
+    connection is torn down and re-established on the other network,
+    which blacks out media for ``reconnect_delay`` seconds — the
+    ICE-restart cost of real WebRTC connection migration.
+    """
+
+    def __init__(
+        self,
+        initial_path_id: int,
+        failure_timeout: float = 2.0,
+        reconnect_delay: float = 1.5,
+    ) -> None:
+        self.active_path_id = initial_path_id
+        self.failure_timeout = failure_timeout
+        self.reconnect_delay = reconnect_delay
+        self._reconnect_until: Optional[float] = None
+        self._last_migration: Optional[float] = None
+        self.migrations = 0
+
+    def assign(
+        self,
+        packets: Sequence[RtpPacket],
+        paths: Sequence[PathSnapshot],
+        now: float,
+    ) -> Assignment:
+        if self._reconnect_until is not None:
+            if now < self._reconnect_until:
+                return []  # connection is re-establishing: nothing flows
+            self._reconnect_until = None
+        active = next(
+            (p for p in paths if p.path_id == self.active_path_id), None
+        )
+        # Grace period after a migration: the new connection needs a
+        # reconnect plus one failure window to produce feedback before
+        # it can be judged, or the scheduler ping-pongs between paths.
+        settling = (
+            self._last_migration is not None
+            and now - self._last_migration
+            < self.reconnect_delay + self.failure_timeout
+        )
+        if (
+            not settling
+            and active is not None
+            and active.last_feedback_age > self.failure_timeout
+        ):
+            self._migrate(paths, now)
+            return []
+        return [(packet, self.active_path_id) for packet in packets]
+
+    def _migrate(self, paths: Sequence[PathSnapshot], now: float) -> None:
+        candidates = [p for p in paths if p.path_id != self.active_path_id]
+        if not candidates:
+            return
+        # Pick the candidate that has been heard from most recently.
+        best = min(candidates, key=lambda p: p.last_feedback_age)
+        self.active_path_id = best.path_id
+        self._reconnect_until = now + self.reconnect_delay
+        self._last_migration = now
+        self.migrations += 1

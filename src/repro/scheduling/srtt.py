@@ -1,0 +1,43 @@
+"""SRTT: the minRTT scheduler of MPTCP/MPQUIC applied to WebRTC.
+
+Fills the lowest-RTT path up to its per-round packet allowance, then
+moves to the next-lowest, with no knowledge of frame structure or
+packet importance — the behaviour the paper shows breaking real-time
+video (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.rtp.packets import RtpPacket
+from repro.scheduling.base import Assignment, PathSnapshot, Scheduler
+
+
+class MinRttScheduler(Scheduler):
+    """Prefer the path with minimum smoothed RTT."""
+
+    def assign(
+        self,
+        packets: Sequence[RtpPacket],
+        paths: Sequence[PathSnapshot],
+        now: float,
+    ) -> Assignment:
+        enabled = [p for p in paths if p.enabled]
+        if not enabled:
+            enabled = list(paths)
+        ranked = sorted(enabled, key=lambda p: p.srtt)
+        assignments: Assignment = []
+        index = 0
+        for path in ranked:
+            room = max(path.max_packets, 1)
+            while room > 0 and index < len(packets):
+                assignments.append((packets[index], path.path_id))
+                index += 1
+                room -= 1
+        # Everything still unassigned goes on the overall-min-RTT path,
+        # as minRTT does when all windows are full.
+        while index < len(packets):
+            assignments.append((packets[index], ranked[0].path_id))
+            index += 1
+        return assignments

@@ -1,0 +1,21 @@
+"""Discrete-event simulation core used by every other subsystem.
+
+The simulator is a classic event-heap design: components schedule
+callbacks at absolute or relative times, and :class:`Simulator.run`
+dispatches them in timestamp order.  All randomness flows through
+named, seeded streams (:class:`RandomStreams`) so that every experiment
+in the reproduction is deterministic given its seed.
+"""
+
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.random import RandomStreams
+from repro.simulation.process import PeriodicProcess
+from repro.simulation.simulator import Simulator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "RandomStreams",
+    "Simulator",
+]

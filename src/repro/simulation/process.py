@@ -1,0 +1,50 @@
+"""Helpers for recurring simulation activities."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.events import Event
+from repro.simulation.simulator import Simulator
+
+
+class PeriodicProcess:
+    """Runs a callback at a fixed interval until stopped.
+
+    Used for camera frame ticks, RTCP report generation and pacer
+    wake-ups.  The interval may be changed between ticks (e.g. when a
+    sender adjusts its frame rate).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        start_delay: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self._event = sim.schedule(start_delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Cancel future ticks."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped

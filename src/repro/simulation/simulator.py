@@ -1,0 +1,69 @@
+"""The discrete-event simulator driving every experiment."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.random import RandomStreams
+
+
+class Simulator:
+    """Dispatches scheduled callbacks in timestamp order.
+
+    Components hold a reference to the simulator, read the clock via
+    :attr:`now`, and schedule work with :meth:`schedule` (relative delay)
+    or :meth:`schedule_at` (absolute time).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.streams = RandomStreams(seed)
+        self._queue = EventQueue()
+        self._running = False
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self._queue.push(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self._queue.push(time, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Returns the simulation time at which the run stopped.  Events
+        scheduled exactly at ``until`` are executed.
+        """
+        self._running = True
+        try:
+            while self._running:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.callback()
+        finally:
+            self._running = False
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._running = False
+
+    def pending_events(self) -> int:
+        """Return the number of events still queued (including cancelled)."""
+        return len(self._queue)

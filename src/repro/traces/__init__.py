@@ -1,0 +1,31 @@
+"""Synthetic network traces for the paper's three scenarios.
+
+The paper replays iperf3 traces captured on WiFi, T-Mobile and Verizon
+while stationary, walking and driving (Appendix D, Figs. 20-22).  The
+raw traces are not public, so this package generates synthetic traces
+whose envelope matches the published figures: stable WiFi when
+stationary, moderate dips while walking, and deep multi-second fades
+with brief near-outages while driving.  All generators are seeded and
+deterministic.
+"""
+
+from repro.traces.generator import markov_fade_envelope, ou_capacity_trace
+from repro.traces.scenarios import (
+    DRIVING,
+    STATIONARY,
+    WALKING,
+    Scenario,
+    make_scenario_trace,
+    scenario_networks,
+)
+
+__all__ = [
+    "DRIVING",
+    "STATIONARY",
+    "WALKING",
+    "Scenario",
+    "make_scenario_trace",
+    "markov_fade_envelope",
+    "ou_capacity_trace",
+    "scenario_networks",
+]

@@ -1,0 +1,26 @@
+"""Synthetic video pipeline: camera, encoder, packetizer, decoder model.
+
+The scheduler and FEC logic in Converge consume only the *structure* of
+encoded video — frame types, packet types, sizes and dependencies — so
+the pipeline models exactly that: a rate-controlled encoder producing
+keyframes and delta frames in GOPs, SPS/PPS parameter-set packets, a
+packetizer emitting RTP packets, and a quality model mapping achieved
+bitrate to QP and PSNR the same monotone way a real encoder does.
+"""
+
+from repro.video.frames import VideoFrame
+from repro.video.quality import RateDistortionModel
+from repro.video.encoder import Encoder, EncoderConfig
+from repro.video.packetizer import Packetizer
+from repro.video.source import CameraSource
+from repro.video.decoder import DecoderModel
+
+__all__ = [
+    "CameraSource",
+    "DecoderModel",
+    "Encoder",
+    "EncoderConfig",
+    "Packetizer",
+    "RateDistortionModel",
+    "VideoFrame",
+]

@@ -1,0 +1,86 @@
+"""Receiver-side decoder dependency model.
+
+Tracks which frames are decodable given what has been assembled:
+
+- a keyframe is decodable when its SPS and PPS arrived with its media;
+- a delta frame needs its PPS, the SPS of its GOP, and an unbroken
+  reference chain back to the decoded keyframe (IPPP... structure:
+  every delta references the previous frame).
+
+When the chain breaks the decoder reports it, which is what triggers
+keyframe requests upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.rtp.packets import FRAME_TYPE_KEY
+
+
+@dataclass
+class AssembledFrame:
+    """The metadata the packet buffer hands to the decode stage."""
+
+    frame_id: int
+    ssrc: int
+    frame_type: str
+    gop_id: int
+    size_bytes: int
+    capture_time: float
+    has_pps: bool
+    has_sps: bool  # keyframes carry the SPS for their GOP
+    first_arrival: float = 0.0
+    completed_at: float = 0.0
+    fec_recovered: bool = False
+
+    @property
+    def is_keyframe(self) -> bool:
+        return self.frame_type == FRAME_TYPE_KEY
+
+
+class DecoderModel:
+    """Decides frame decodability and tracks the reference chain."""
+
+    def __init__(self) -> None:
+        self._last_decoded: Optional[int] = None
+        self._sps_gops: Set[int] = set()
+        self.frames_decoded = 0
+        self.chain_breaks = 0
+
+    @property
+    def last_decoded_frame_id(self) -> Optional[int]:
+        return self._last_decoded
+
+    def can_decode(self, frame: AssembledFrame) -> bool:
+        """Whether ``frame`` can be decoded right now."""
+        if frame.is_keyframe:
+            return frame.has_pps and frame.has_sps
+        if not frame.has_pps:
+            return False
+        if frame.gop_id not in self._sps_gops:
+            return False
+        # IPPP chain: the immediately preceding frame must be decoded.
+        return self._last_decoded == frame.frame_id - 1
+
+    def decode(self, frame: AssembledFrame) -> None:
+        """Consume ``frame``; caller must have checked :meth:`can_decode`."""
+        if not self.can_decode(frame):
+            self.chain_breaks += 1
+            raise ValueError(
+                f"frame {frame.frame_id} is not decodable "
+                f"(last decoded: {self._last_decoded})"
+            )
+        if frame.is_keyframe:
+            self._sps_gops.add(frame.gop_id)
+        self._last_decoded = frame.frame_id
+        self.frames_decoded += 1
+
+    def reset_to_keyframe(self, frame: AssembledFrame) -> None:
+        """Resynchronize the chain at a keyframe after a break."""
+        if not frame.is_keyframe:
+            raise ValueError("can only resynchronize at a keyframe")
+        self._sps_gops.add(frame.gop_id)
+        self._last_decoded = frame.frame_id
+        self.frames_decoded += 1

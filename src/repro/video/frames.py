@@ -1,0 +1,42 @@
+"""Encoded video frame model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rtp.packets import FRAME_TYPE_DELTA, FRAME_TYPE_KEY
+
+
+@dataclass
+class VideoFrame:
+    """One encoded frame as produced by the encoder.
+
+    ``depends_on`` is the id of the reference frame (the previous frame
+    for delta frames, ``None`` for keyframes), matching the simple
+    IPPP... reference structure video-conferencing encoders use.
+    ``gop_id`` ties delta frames to the SPS of their group.
+    """
+
+    frame_id: int
+    ssrc: int
+    frame_type: str
+    size_bytes: int
+    capture_time: float
+    qp: float
+    gop_id: int
+    depends_on: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.frame_type not in (FRAME_TYPE_KEY, FRAME_TYPE_DELTA):
+            raise ValueError(f"unknown frame type: {self.frame_type}")
+        if self.size_bytes <= 0:
+            raise ValueError("frame size must be positive")
+        if self.frame_type == FRAME_TYPE_KEY and self.depends_on is not None:
+            raise ValueError("keyframes must not reference another frame")
+        if self.frame_type == FRAME_TYPE_DELTA and self.depends_on is None:
+            raise ValueError("delta frames must reference another frame")
+
+    @property
+    def is_keyframe(self) -> bool:
+        return self.frame_type == FRAME_TYPE_KEY

@@ -1,0 +1,86 @@
+"""Packetization of encoded frames into RTP packets.
+
+Per §2.1/§3.1 of the paper, a keyframe carries an SPS packet (decoding
+information for its group of frames) and a PPS packet (decoding
+information for the frame itself); every delta frame carries a PPS
+packet.  Losing either makes the frame — or the whole group —
+non-decodable even if all media payload arrives.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rtp.packets import (
+    DEFAULT_MTU_PAYLOAD,
+    FRAME_TYPE_KEY,
+    PacketType,
+    RtpPacket,
+)
+from repro.rtp.sequence import SEQ_MOD
+from repro.video.frames import VideoFrame
+
+PARAMETER_SET_BYTES = 40
+
+
+class Packetizer:
+    """Splits frames into RTP packets with a per-stream sequence space."""
+
+    def __init__(
+        self,
+        ssrc: int,
+        mtu_payload: int = DEFAULT_MTU_PAYLOAD,
+        clock_rate: int = 90_000,
+    ) -> None:
+        if mtu_payload <= PARAMETER_SET_BYTES:
+            raise ValueError("mtu must exceed a parameter-set payload")
+        self.ssrc = ssrc
+        self.mtu_payload = mtu_payload
+        self.clock_rate = clock_rate
+        self._next_seq = 0
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq = (self._next_seq + 1) % SEQ_MOD
+        return seq
+
+    def packetize(self, frame: VideoFrame) -> List[RtpPacket]:
+        """Return the RTP packets for ``frame`` in transmission order.
+
+        Layout: [SPS (keyframes only), PPS, media...]; the final media
+        packet carries the ``last_in_frame`` marker.
+        """
+        timestamp = int(frame.capture_time * self.clock_rate) & 0xFFFFFFFF
+        packets: List[RtpPacket] = []
+
+        def make(packet_type: PacketType, payload: int) -> RtpPacket:
+            return RtpPacket(
+                ssrc=self.ssrc,
+                seq=self._take_seq(),
+                timestamp=timestamp,
+                frame_id=frame.frame_id,
+                frame_type=frame.frame_type,
+                packet_type=packet_type,
+                payload_size=payload,
+                capture_time=frame.capture_time,
+                gop_id=frame.gop_id,
+            )
+
+        if frame.frame_type == FRAME_TYPE_KEY:
+            packets.append(make(PacketType.SPS, PARAMETER_SET_BYTES))
+        packets.append(make(PacketType.PPS, PARAMETER_SET_BYTES))
+
+        media_type = (
+            PacketType.KEYFRAME
+            if frame.frame_type == FRAME_TYPE_KEY
+            else PacketType.MEDIA
+        )
+        remaining = frame.size_bytes
+        while remaining > 0:
+            chunk = min(remaining, self.mtu_payload)
+            packets.append(make(media_type, chunk))
+            remaining -= chunk
+
+        packets[0].first_in_frame = True
+        packets[-1].last_in_frame = True
+        return packets

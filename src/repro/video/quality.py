@@ -1,0 +1,53 @@
+"""Rate-distortion model mapping bitrate to QP and PSNR.
+
+Real encoders expose a monotone trade: fewer bits per pixel means a
+coarser quantizer (higher QP) and lower PSNR.  We fit a standard
+logarithmic R-QP curve anchored so that a 720p30 stream at its 10 Mbps
+cap encodes around QP 25 (high quality) and a 1 Mbps stream around
+QP 45 (visibly degraded), consistent with the QP ranges reported in
+the paper's Figure 10/14 (QP normalized by 60, the worst quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RateDistortionModel:
+    """Maps target bitrate to QP and QP to PSNR for one resolution."""
+
+    width: int = 1280
+    height: int = 720
+    frame_rate: float = 30.0
+    qp_min: float = 10.0
+    qp_max: float = 60.0
+    # QP = qp_anchor - qp_slope * ln(bits_per_pixel); anchored below.
+    qp_anchor: float = 25.0
+    qp_slope: float = 8.7
+    anchor_bitrate: float = 10_000_000.0
+    # PSNR(dB) = psnr_intercept - psnr_slope * QP.
+    psnr_intercept: float = 56.0
+    psnr_slope: float = 0.55
+
+    def bits_per_pixel(self, bitrate: float) -> float:
+        """Bits spent per pixel per frame at ``bitrate`` (bps)."""
+        pixels_per_second = self.width * self.height * self.frame_rate
+        return max(bitrate, 1.0) / pixels_per_second
+
+    def qp_for_bitrate(self, bitrate: float) -> float:
+        """Quantization parameter the encoder needs at ``bitrate``."""
+        import math
+
+        anchor_bpp = self.bits_per_pixel(self.anchor_bitrate)
+        bpp = self.bits_per_pixel(bitrate)
+        qp = self.qp_anchor - self.qp_slope * math.log(bpp / anchor_bpp)
+        return min(max(qp, self.qp_min), self.qp_max)
+
+    def psnr_for_qp(self, qp: float) -> float:
+        """PSNR in dB of a frame encoded at ``qp``."""
+        return self.psnr_intercept - self.psnr_slope * qp
+
+    def psnr_for_bitrate(self, bitrate: float) -> float:
+        """Convenience: PSNR at the QP the encoder picks for ``bitrate``."""
+        return self.psnr_for_qp(self.qp_for_bitrate(bitrate))

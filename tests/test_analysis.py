@@ -1,0 +1,154 @@
+"""Tests for the analysis package: stats, plots, export."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Cdf,
+    ascii_bars,
+    describe,
+    percentile,
+    render_series,
+    result_to_dict,
+    rolling_mean,
+    save_result_json,
+    sparkline,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolates(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+           st.floats(0, 100))
+    def test_within_range(self, values, q):
+        result = percentile(values, q)
+        span = max(values) - min(values)
+        tolerance = 1e-9 * max(span, 1.0)
+        assert min(values) - tolerance <= result <= max(values) + tolerance
+
+
+class TestDescribe:
+    def test_basic(self):
+        stats = describe([1.0, 2.0, 3.0])
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["n"] == 3
+
+    def test_zero_variance(self):
+        assert describe([4.0, 4.0])["std"] == 0.0
+
+
+class TestRollingMean:
+    def test_smooths(self):
+        samples = [(float(t), float(t % 2)) for t in range(10)]
+        smoothed = rolling_mean(samples, window=4.0)
+        tail = [v for _, v in smoothed[4:]]
+        assert all(0.3 < v < 0.7 for v in tail)
+
+    def test_window_validates(self):
+        with pytest.raises(ValueError):
+            rolling_mean([(0.0, 1.0)], window=0.0)
+
+    def test_preserves_length(self):
+        samples = [(float(t), 1.0) for t in range(7)]
+        assert len(rolling_mean(samples, 2.0)) == 7
+
+
+class TestCdf:
+    def test_at_and_inverse(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(0.0) == 0.0
+        assert cdf.at(10.0) == 1.0
+        assert cdf.inverse(0.5) == 2.0
+        assert cdf.inverse(1.0) == 4.0
+
+    def test_points_monotone(self):
+        cdf = Cdf([5.0, 1.0, 3.0, 2.0, 4.0])
+        points = cdf.points(20)
+        probabilities = [p for _, p in points]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] == 1.0
+
+    def test_degenerate_sample(self):
+        assert Cdf([2.0, 2.0]).points() == [(2.0, 1.0)]
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+        with pytest.raises(ValueError):
+            Cdf([1.0]).inverse(0.0)
+
+
+class TestPlots:
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_resamples(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_ascii_bars(self):
+        chart = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_ascii_bars_validate(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_render_series(self):
+        samples = [(float(t), float(t)) for t in range(100)]
+        chart = render_series(samples, height=4, width=40, title="ramp")
+        lines = chart.splitlines()
+        assert "ramp" in lines[0]
+        assert len(lines) == 6  # header + 4 rows + footer
+
+
+class TestExport:
+    def _result(self):
+        from repro.core.config import SystemKind
+        from repro.experiments.common import constant_paths, run_system
+
+        paths = constant_paths([8e6], [0.02], [0.0])
+        return run_system(SystemKind.WEBRTC, paths, duration=5.0, seed=1)
+
+    def test_result_to_dict_structure(self):
+        data = result_to_dict(self._result())
+        assert data["config"]["system"] == "webrtc"
+        assert data["summary"]["frames_rendered"] > 0
+        assert "receive_rate" in data["series"]
+        assert "0" in data["paths"]
+
+    def test_save_result_json(self, tmp_path):
+        target = save_result_json(self._result(), tmp_path / "out.json")
+        data = json.loads(target.read_text())
+        assert data["summary"]["average_fps"] > 0

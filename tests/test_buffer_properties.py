@@ -1,0 +1,144 @@
+"""Property-based fuzzing of the receive pipeline.
+
+Hypothesis drives randomized frame delivery — drops, duplication,
+reordering, truncation — through the packet buffer + frame buffer +
+decoder stack and checks the invariants that must hold under *any*
+input:
+
+- rendered frames are strictly increasing in frame id,
+- a frame is never rendered unless every one of its packets was
+  inserted (no fabricated frames),
+- the packet-buffer occupancy never exceeds its configured capacity,
+- the pipeline never raises.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.receiver.frame_buffer import FrameBuffer, FrameBufferConfig
+from repro.receiver.packet_buffer import PacketBuffer, PacketBufferConfig
+from repro.simulation import Simulator
+from repro.video.decoder import DecoderModel
+from repro.video.frames import VideoFrame
+from repro.video.packetizer import Packetizer
+from repro.rtp.packets import FRAME_TYPE_DELTA, FRAME_TYPE_KEY
+
+
+def build_gop(num_frames, gop_length=8, size=2600):
+    """A frame sequence with keyframes every ``gop_length``."""
+    packetizer = Packetizer(1)
+    frames = []
+    gop_id = -1
+    for frame_id in range(num_frames):
+        key = frame_id % gop_length == 0
+        if key:
+            gop_id += 1
+        frames.append(
+            packetizer.packetize(
+                VideoFrame(
+                    frame_id=frame_id,
+                    ssrc=1,
+                    frame_type=FRAME_TYPE_KEY if key else FRAME_TYPE_DELTA,
+                    size_bytes=size,
+                    capture_time=frame_id / 30,
+                    qp=30,
+                    gop_id=gop_id,
+                    depends_on=None if key else frame_id - 1,
+                )
+            )
+        )
+    return frames
+
+
+# Per-packet fate: delivered with a reorder slot, duplicated, or lost.
+packet_plan = st.lists(
+    st.tuples(
+        st.integers(0, 99),       # delivery order jitter bucket
+        st.sampled_from(["ok", "ok", "ok", "ok", "dup", "lost"]),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestPipelineInvariants:
+    @given(plan=packet_plan, capacity=st.integers(16, 128))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_under_arbitrary_delivery(self, plan, capacity):
+        sim = Simulator(seed=1)
+        rendered = []
+        decoder = DecoderModel()
+        packet_buffer = PacketBuffer(
+            1, PacketBufferConfig(capacity_packets=capacity)
+        )
+        frame_buffer = FrameBuffer(
+            sim,
+            decoder,
+            FrameBufferConfig(wait_timeout=0.2),
+            on_render=lambda frame, t: rendered.append(frame.frame_id),
+            on_frame_declared_lost=lambda fid: packet_buffer.drop_frame(fid),
+        )
+
+        frames = build_gop(12)
+        packets = [p for frame in frames for p in frame]
+        inserted_by_frame = {}
+
+        # Build the delivery schedule from the plan.
+        deliveries = []
+        for i, packet in enumerate(packets):
+            if i >= len(plan):
+                jitter, fate = 0, "ok"
+            else:
+                jitter, fate = plan[i]
+            if fate == "lost":
+                continue
+            deliveries.append((i + jitter * 3, packet))
+            if fate == "dup":
+                deliveries.append((i + jitter * 3 + 1, packet))
+        deliveries.sort(key=lambda item: item[0])
+
+        def deliver(packet):
+            inserted_by_frame.setdefault(packet.frame_id, set()).add(packet.seq)
+            result = packet_buffer.insert(packet, sim.now)
+            assert packet_buffer.packet_count <= capacity
+            if result is not None:
+                frame, _ = result
+                frame_buffer.insert(frame)
+
+        for slot, packet in deliveries:
+            sim.schedule(slot * 0.002, lambda p=packet: deliver(p))
+        sim.run(until=5.0)
+
+        # Invariant: strict render order.
+        assert rendered == sorted(rendered)
+        assert len(rendered) == len(set(rendered))
+
+        # Invariant: no fabricated frames — every rendered frame had
+        # all of its packets inserted at least once.
+        frame_sizes = {f[0].frame_id: len(f) for f in frames}
+        for frame_id in rendered:
+            assert len(inserted_by_frame.get(frame_id, ())) == frame_sizes[frame_id]
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_in_order_lossless_delivery_renders_everything(self, data):
+        """With no loss and in-order delivery the pipeline must render
+        every frame regardless of GOP structure."""
+        gop_length = data.draw(st.integers(1, 10))
+        num_frames = data.draw(st.integers(1, 30))
+        sim = Simulator(seed=1)
+        rendered = []
+        frame_buffer = FrameBuffer(
+            sim,
+            DecoderModel(),
+            FrameBufferConfig(),
+            on_render=lambda frame, t: rendered.append(frame.frame_id),
+        )
+        packet_buffer = PacketBuffer(1)
+        for frame_packets in build_gop(num_frames, gop_length=gop_length):
+            for packet in frame_packets:
+                result = packet_buffer.insert(packet, sim.now)
+                if result is not None:
+                    frame_buffer.insert(result[0])
+        sim.run(until=1.0)
+        assert rendered == list(range(num_frames))

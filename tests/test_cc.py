@@ -1,0 +1,262 @@
+"""Tests for GCC: trendline, overuse detection, AIMD, loss control."""
+
+import pytest
+
+from repro.cc import (
+    AimdRateController,
+    BandwidthUsage,
+    GoogleCongestionControl,
+    LossBasedController,
+    OveruseDetector,
+    TrendlineEstimator,
+)
+from repro.cc.pacing import Pacer
+from repro.simulation import Simulator
+
+
+def feed_constant_delay(estimator, n=100, spacing=0.01):
+    """Packets with identical one-way delay: trend must be ~0."""
+    for i in range(n):
+        estimator.update(i * spacing, i * spacing + 0.05)
+    return estimator.trend
+
+
+def feed_growing_delay(estimator, n=100, spacing=0.01, growth=0.002):
+    """Each packet is delayed more than the last: positive trend."""
+    for i in range(n):
+        estimator.update(i * spacing, i * spacing + 0.05 + i * growth)
+    return estimator.trend
+
+
+class TestTrendlineEstimator:
+    def test_flat_delay_zero_trend(self):
+        trend = feed_constant_delay(TrendlineEstimator())
+        assert abs(trend) < 0.01
+
+    def test_growing_delay_positive_trend(self):
+        trend = feed_growing_delay(TrendlineEstimator())
+        assert trend > 0.05
+
+    def test_draining_delay_negative_trend(self):
+        estimator = TrendlineEstimator()
+        for i in range(100):
+            estimator.update(i * 0.01, i * 0.01 + 0.2 - i * 0.001)
+        assert estimator.trend < -0.01
+
+    def test_bursts_grouped(self):
+        """Packets sent back-to-back form one group: intra-burst
+        spacing must not register as delay growth."""
+        estimator = TrendlineEstimator()
+        t = 0.0
+        for _ in range(30):  # 30 frames
+            for j in range(10):  # burst of 10 packets, 0.1 ms apart
+                send = t + j * 0.0001
+                arrival = t + 0.05 + j * 0.001  # serialized at the link
+                estimator.update(send, arrival)
+            t += 0.033
+        assert abs(estimator.trend) < 0.02
+
+
+class TestOveruseDetector:
+    def test_normal_on_flat_trend(self):
+        detector = OveruseDetector()
+        for i in range(50):
+            state = detector.detect(0.0, i * 0.01, i)
+        assert state is BandwidthUsage.NORMAL
+
+    def test_overuse_on_sustained_positive_trend(self):
+        detector = OveruseDetector()
+        state = BandwidthUsage.NORMAL
+        for i in range(50):
+            state = detector.detect(0.3, i * 0.01, 60)
+        assert state is BandwidthUsage.OVERUSE
+
+    def test_underuse_on_negative_trend(self):
+        detector = OveruseDetector()
+        for i in range(50):
+            state = detector.detect(-0.3, i * 0.01, 60)
+        assert state is BandwidthUsage.UNDERUSE
+
+    def test_threshold_adapts_within_bounds(self):
+        detector = OveruseDetector()
+        for i in range(500):
+            detector.detect(0.04, i * 0.01, 60)
+        assert 6.0 <= detector.threshold_ms <= 600.0
+
+
+class TestAimd:
+    def test_increases_when_normal(self):
+        aimd = AimdRateController(1e6)
+        rate = aimd.rate
+        for i in range(20):
+            aimd.update(
+                BandwidthUsage.NORMAL, 2e6, now=i * 0.1, offered_rate=2e6
+            )
+        assert aimd.rate > rate
+
+    def test_decrease_backs_off_to_beta_incoming(self):
+        aimd = AimdRateController(5e6)
+        aimd.update(BandwidthUsage.OVERUSE, 4e6, now=0.1, offered_rate=5e6)
+        assert aimd.rate == pytest.approx(0.85 * 4e6)
+
+    def test_hold_on_underuse(self):
+        aimd = AimdRateController(5e6)
+        before = aimd.rate
+        aimd.update(BandwidthUsage.UNDERUSE, 4e6, now=0.1, offered_rate=5e6)
+        assert aimd.rate == before
+
+    def test_underused_path_not_capped(self):
+        """The 1.5x-incoming cap must not fire when the sender never
+        offered the target rate (multipath bootstrap deadlock)."""
+        aimd = AimdRateController(5e6)
+        aimd.update(BandwidthUsage.NORMAL, 0.1e6, now=0.1, offered_rate=0.1e6)
+        assert aimd.rate >= 5e6 * 0.99
+
+    def test_saturated_path_capped(self):
+        aimd = AimdRateController(5e6)
+        aimd.update(BandwidthUsage.NORMAL, 1e6, now=0.1, offered_rate=5e6)
+        assert aimd.rate <= 1.5 * 1e6 + 10_000
+
+    def test_respects_bounds(self):
+        aimd = AimdRateController(1e6, min_rate=5e5, max_rate=2e6)
+        for i in range(100):
+            aimd.update(BandwidthUsage.NORMAL, 1e8, now=i * 0.1, offered_rate=1e8)
+        assert aimd.rate <= 2e6
+        aimd.update(BandwidthUsage.OVERUSE, 1e3, now=11.0, offered_rate=1e8)
+        assert aimd.rate >= 5e5
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValueError):
+            AimdRateController(0.0)
+
+
+class TestLossBasedController:
+    def test_backs_off_on_high_loss(self):
+        controller = LossBasedController(4e6)
+        controller.update(0.2)
+        assert controller.rate == pytest.approx(4e6 * 0.9)
+
+    def test_probes_up_on_low_loss(self):
+        controller = LossBasedController(4e6)
+        controller.update(0.0)
+        assert controller.rate == pytest.approx(4e6 * 1.05)
+
+    def test_holds_in_between(self):
+        controller = LossBasedController(4e6)
+        controller.update(0.05)
+        assert controller.rate == 4e6
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            LossBasedController(1e6).update(1.1)
+
+
+class TestGoogleCongestionControl:
+    def _feed_ideal_link(self, gcc, capacity_bps, duration, rtt=0.05):
+        """Replay an ideal constant-capacity link with periodic
+        receiver reports at zero loss."""
+        now = 0.0
+        link_free = 0.0
+        while now < duration:
+            rate = gcc.target_rate
+            pkt_bytes = 1200
+            burst = max(int(rate / 30 / 8 / pkt_bytes), 1)
+            acked = []
+            for i in range(burst):
+                send = now + i * pkt_bytes * 8 / (1.5 * rate)
+                link_free = max(link_free, send) + pkt_bytes * 8 / capacity_bps
+                acked.append((send, link_free + rtt / 2, pkt_bytes))
+            feedback_at = now + 0.05
+            gcc.on_transport_feedback(acked, 0, feedback_at)
+            if int(now * 5) != int((now + 1 / 30) * 5):
+                gcc.on_receiver_report(0.0, now)
+            now += 1 / 30
+
+    def test_ramps_toward_capacity(self):
+        gcc = GoogleCongestionControl(0)
+        self._feed_ideal_link(gcc, 6e6, duration=60.0)
+        assert gcc.target_rate > 3e6
+
+    def test_does_not_wildly_overshoot(self):
+        gcc = GoogleCongestionControl(0)
+        self._feed_ideal_link(gcc, 3e6, duration=90.0)
+        assert gcc.target_rate < 3e6 * 1.6
+
+    def test_loss_reports_reduce_rate(self):
+        gcc = GoogleCongestionControl(0)
+        self._feed_ideal_link(gcc, 6e6, duration=30.0)
+        before = gcc.target_rate
+        for i in range(10):
+            gcc.on_receiver_report(0.3, 30.0 + i * 0.2)
+        assert gcc.target_rate < before
+
+    def test_srtt_estimated(self):
+        gcc = GoogleCongestionControl(0)
+        self._feed_ideal_link(gcc, 6e6, duration=10.0, rtt=0.08)
+        assert 0.01 < gcc.srtt < 0.3
+
+    def test_loss_peak_decays(self):
+        gcc = GoogleCongestionControl(0)
+        gcc.on_receiver_report(0.2, now=0.0)
+        peak = gcc.loss_peak
+        assert peak == 0.2
+        gcc.on_receiver_report(0.0, now=10.0)
+        assert gcc.loss_peak < peak
+
+    def test_burst_probe_jumps_estimate(self):
+        gcc = GoogleCongestionControl(0)
+        # A back-to-back burst of 8 packets arriving at 20 Mbps.
+        capacity = 20e6
+        acked = []
+        arrival = 0.05
+        for i in range(8):
+            arrival += 800 * 8 / capacity
+            acked.append((0.0 + i * 1e-4, arrival, 800))
+        before = gcc.target_rate
+        gcc.on_transport_feedback(acked, 0, 0.1)
+        assert gcc.target_rate > before * 2
+
+
+class TestPacer:
+    def test_spreads_burst(self):
+        sim = Simulator()
+        sent = []
+
+        class P:
+            size_bytes = 1250
+
+        pacer = Pacer(sim, lambda pkt, pid: sent.append(sim.now))
+        pacer.set_path_rate(0, 1e6)
+        for _ in range(5):
+            pacer.enqueue(P(), 0)
+        sim.run()
+        expected_gap = 1250 * 8 / (1e6 * pacer.pacing_factor)
+        gaps = [b - a for a, b in zip(sent, sent[1:])]
+        assert all(g == pytest.approx(expected_gap, abs=1e-6) for g in gaps)
+
+    def test_fifo_per_path(self):
+        sim = Simulator()
+        sent = []
+
+        class P:
+            def __init__(self, tag):
+                self.tag = tag
+                self.size_bytes = 100
+
+        pacer = Pacer(sim, lambda pkt, pid: sent.append(pkt.tag))
+        pacer.set_path_rate(0, 1e7)
+        for i in range(10):
+            pacer.enqueue(P(i), 0)
+        sim.run()
+        assert sent == list(range(10))
+
+    def test_queued_packets_introspection(self):
+        sim = Simulator()
+
+        class P:
+            size_bytes = 100
+
+        pacer = Pacer(sim, lambda pkt, pid: None)
+        pacer.enqueue(P(), 3)
+        assert pacer.queued_packets(3) == 1
+        assert pacer.queued_packets(7) == 0

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "quic"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.system == "converge"
+        assert args.scenario == "driving"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "converge" in out
+        assert "driving" in out
+        assert "fig12" in out
+
+    def test_run_prints_summary(self, capsys):
+        code = main([
+            "run", "--system", "webrtc", "--scenario", "stationary",
+            "--duration", "5", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average FPS" in out
+        assert "FEC overhead" in out
+
+    def test_run_with_json_and_plot(self, capsys, tmp_path):
+        target = tmp_path / "result.json"
+        code = main([
+            "run", "--duration", "5", "--plot", "--json", str(target),
+        ])
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["config"]["system"] == "converge"
+        out = capsys.readouterr().out
+        assert "received rate" in out
+
+    def test_run_ablation_flags(self, capsys):
+        code = main([
+            "run", "--duration", "5", "--no-feedback", "--fec", "none",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FEC overhead (%)      0.000" in out or "0.000" in out
+
+    def test_experiment_traces(self, capsys):
+        assert main(["experiment", "traces", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "driving" in out
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", "--scenario", "stationary", "--duration", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for system in ("webrtc", "converge", "m-rtp", "srtt"):
+            assert system in out

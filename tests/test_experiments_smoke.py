@@ -1,0 +1,102 @@
+"""Smoke tests for every experiment module at miniature scale.
+
+The benchmarks run these at full scale with shape assertions; here we
+only verify each module's plumbing — structure of results, labels,
+and that ``main`` prints its table — so a refactor cannot silently
+break an experiment between bench runs.
+"""
+
+import pytest
+
+from repro.core.config import SystemKind
+from repro.experiments import (
+    fig01_motivation,
+    fig03_multipath_not_enough,
+    fig09_10_wild,
+    fig11_feedback,
+    fig12_13_fec,
+    fig14_15_comparison,
+    fig16_17_stationary,
+    sweeps,
+    traces_appendix,
+)
+
+TINY = 8.0
+
+
+@pytest.mark.slow
+class TestExperimentPlumbing:
+    def test_fig01(self):
+        result = fig01_motivation.run(duration=TINY, seed=2)
+        assert [r.network for r in result.rows] == ["tmobile", "verizon"]
+        for row in result.rows:
+            assert row.mean_fps >= 0
+            assert len(row.fps_series) == int(TINY)
+
+    def test_fig03(self):
+        result = fig03_multipath_not_enough.run(
+            duration=TINY, seed=2, stream_counts=(1,),
+            systems=(SystemKind.WEBRTC, SystemKind.CONVERGE),
+        )
+        assert {c.system for c in result.cells} == {"webrtc", "converge"}
+        assert result.for_system("converge")[0].num_streams == 1
+
+    def test_fig09(self):
+        result = fig09_10_wild.run(
+            scenario="walking", duration=TINY, seed=2, stream_counts=(1,)
+        )
+        systems = {r.system for r in result.rows}
+        assert systems == {"webrtc-w", "webrtc-t", "converge"}
+        for row in result.rows:
+            assert set(row.normalized) == {"throughput", "fps", "stall", "qp"}
+
+    def test_fig09_rejects_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            fig09_10_wild.run(scenario="flying")
+
+    def test_fig11(self):
+        result = fig11_feedback.run(duration=40.0, seed=2, num_seeds=1)
+        assert result.with_feedback.label == "with-feedback"
+        assert result.without_feedback.ifd_series
+        assert result.with_feedback.rate_series
+
+    def test_fig12(self):
+        result = fig12_13_fec.run(duration=TINY, seed=2, loss_percents=(2,))
+        assert len(result.points) == 2
+        assert {p.fec_mode for p in result.points} == {"converge", "webrtc-table"}
+        table5 = result.table5()
+        assert table5[0]["loss_percent"] == 2
+
+    def test_fig14(self):
+        result = fig14_15_comparison.run(duration=TINY, seed=2)
+        rows = result.by_system()
+        assert set(rows) == {
+            "webrtc-t", "webrtc-v", "webrtc-cm", "srtt", "m-tput",
+            "m-rtp", "converge",
+        }
+
+    def test_fig16(self):
+        result = fig16_17_stationary.run(
+            duration=TINY, seed=2, stream_counts=(1,)
+        )
+        assert len(result.rows) == 3
+
+    def test_traces(self):
+        result = traces_appendix.run(duration=60.0, seed=2)
+        assert len(result.stats) == 6
+        for stats in result.stats:
+            assert stats.mean_mbps > 0
+            assert 0 <= stats.outage_fraction <= 1
+
+    def test_sweep_structures(self):
+        points = sweeps.sweep_playout_deadline(
+            duration=TINY, seed=2, deadlines=(0.4, 0.8)
+        )
+        assert [p.value for p in points] == [0.4, 0.8]
+        loss_points = sweeps.sweep_loss_model(duration=TINY, seed=2)
+        assert len(loss_points) == 2
+
+    def test_mains_print(self, capsys):
+        traces_appendix.main(duration=30.0, seed=2)
+        out = capsys.readouterr().out
+        assert "stationary" in out and "driving" in out

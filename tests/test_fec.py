@@ -1,0 +1,223 @@
+"""Tests for XOR FEC codec and both FEC controllers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fec import (
+    ConvergeFecController,
+    WebRtcFecController,
+    XorCodec,
+    XorFecGroup,
+    webrtc_protection_factor,
+)
+
+payloads_strategy = st.lists(
+    st.binary(min_size=1, max_size=64), min_size=2, max_size=10
+)
+
+
+class TestXorCodec:
+    def test_recovers_missing_payload(self):
+        payloads = [b"hello", b"world!!", b"abc"]
+        fec = XorCodec.encode(payloads)
+        for missing_index in range(3):
+            received = list(payloads)
+            received[missing_index] = None
+            recovered = XorCodec.recover(received, fec)
+            assert recovered[missing_index].startswith(payloads[missing_index])
+
+    @given(payloads_strategy, st.data())
+    def test_recovery_property(self, payloads, data):
+        index = data.draw(st.integers(0, len(payloads) - 1))
+        fec = XorCodec.encode(payloads)
+        received = list(payloads)
+        received[index] = None
+        recovered = XorCodec.recover(received, fec)
+        original = payloads[index]
+        # Recovery pads with zeros to the longest payload; the prefix
+        # must match the original exactly.
+        assert recovered[index][: len(original)] == original
+        assert all(b == 0 for b in recovered[index][len(original):])
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            XorCodec.encode([])
+
+    def test_rejects_double_loss(self):
+        fec = XorCodec.encode([b"a", b"b", b"c"])
+        with pytest.raises(ValueError):
+            XorCodec.recover([None, None, b"c"], fec)
+
+    def test_rejects_zero_loss(self):
+        fec = XorCodec.encode([b"a", b"b"])
+        with pytest.raises(ValueError):
+            XorCodec.recover([b"a", b"b"], fec)
+
+
+class TestXorFecGroup:
+    def test_recovers_single_missing(self):
+        group = XorFecGroup(fec_seq=100, protected_seqs=[1, 2, 3])
+        group.mark_media_received(1)
+        group.mark_media_received(3)
+        group.mark_fec_received()
+        assert group.try_recover() == 2
+        assert group.missing_seqs == []
+
+    def test_no_recovery_without_fec(self):
+        group = XorFecGroup(fec_seq=100, protected_seqs=[1, 2])
+        group.mark_media_received(1)
+        assert group.try_recover() is None
+
+    def test_no_recovery_with_two_missing(self):
+        group = XorFecGroup(fec_seq=100, protected_seqs=[1, 2, 3])
+        group.mark_media_received(1)
+        group.mark_fec_received()
+        assert group.try_recover() is None
+
+    def test_recovery_is_idempotent(self):
+        group = XorFecGroup(fec_seq=100, protected_seqs=[1, 2])
+        group.mark_media_received(1)
+        group.mark_fec_received()
+        assert group.try_recover() == 2
+        assert group.try_recover() is None
+
+    def test_ignores_unprotected_seqs(self):
+        group = XorFecGroup(fec_seq=100, protected_seqs=[1, 2])
+        group.mark_media_received(99)
+        assert group.received_seqs == set()
+
+
+class TestWebRtcTable:
+    def test_zero_at_negligible_loss(self):
+        assert webrtc_protection_factor(0.0) == 0.0
+        assert webrtc_protection_factor(0.001) == 0.0
+
+    def test_aggressive_at_one_percent(self):
+        # Fig. 12: ~40 FEC packets per 100 media at 1% loss.
+        assert webrtc_protection_factor(0.01) == pytest.approx(0.40)
+
+    def test_monotone_in_loss(self):
+        losses = [0.005, 0.01, 0.03, 0.05, 0.10, 0.5]
+        factors = [webrtc_protection_factor(l) for l in losses]
+        assert factors == sorted(factors)
+
+    def test_keyframe_doubling(self):
+        base = webrtc_protection_factor(0.05)
+        assert webrtc_protection_factor(0.05, is_keyframe=True) == pytest.approx(
+            min(2 * base, 1.0)
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            webrtc_protection_factor(1.5)
+
+
+class TestWebRtcFecController:
+    def test_no_fec_without_loss(self):
+        controller = WebRtcFecController()
+        assert controller.num_fec_packets(20, is_keyframe=False) == 0
+
+    def test_fec_count_tracks_table(self):
+        controller = WebRtcFecController()
+        for _ in range(20):
+            controller.on_loss_report(0.01)
+        count = controller.num_fec_packets(100, is_keyframe=False)
+        assert count == pytest.approx(40, abs=5)
+
+    def test_loss_smoothing(self):
+        controller = WebRtcFecController()
+        controller.on_loss_report(0.10)
+        assert 0 < controller.aggregate_loss < 0.10
+
+    def test_rejects_bad_loss(self):
+        controller = WebRtcFecController()
+        with pytest.raises(ValueError):
+            controller.on_loss_report(-0.1)
+
+    def test_zero_media_packets(self):
+        assert WebRtcFecController().num_fec_packets(0, False) == 0
+
+
+class TestConvergeFecController:
+    def test_no_fec_below_threshold(self):
+        controller = ConvergeFecController()
+        assert controller.num_fec_packets(0, 100, 0.0, now=0.0) == 0
+        assert controller.num_fec_packets(0, 100, 0.001, now=0.0) == 0
+
+    def test_fec_proportional_to_loss(self):
+        controller = ConvergeFecController()
+        low = sum(
+            controller.num_fec_packets(0, 100, 0.01, now=i * 0.03)
+            for i in range(100)
+        )
+        controller_high = ConvergeFecController()
+        high = sum(
+            controller_high.num_fec_packets(0, 100, 0.05, now=i * 0.03)
+            for i in range(100)
+        )
+        assert high == pytest.approx(5 * low, rel=0.2)
+
+    def test_fractional_carry_accumulates(self):
+        """Tiny rounds below the round-up threshold eventually emit
+        FEC via the carry instead of flooring at 0 forever."""
+        controller = ConvergeFecController()
+        total = sum(
+            controller.num_fec_packets(0, 10, 0.005, now=i * 0.033)
+            for i in range(100)
+        )
+        # exact would be 10*0.005*100 = 5
+        assert 3 <= total <= 8
+
+    def test_round_up_protects_exposed_rounds(self):
+        """A round with meaningful loss exposure gets at least one FEC
+        packet even when the proportional count floors to zero."""
+        controller = ConvergeFecController()
+        assert controller.num_fec_packets(0, 20, 0.02, now=0.0) == 1
+
+    def test_nack_raises_beta(self):
+        controller = ConvergeFecController()
+        controller.num_fec_packets(0, 30, 0.02, now=0.0)
+        before = controller.beta(0)
+        controller.on_nack(0, 10, now=0.01)
+        assert controller.beta(0) > before
+
+    def test_beta_decays(self):
+        controller = ConvergeFecController()
+        controller.num_fec_packets(0, 30, 0.02, now=0.0)
+        controller.on_nack(0, 10, now=0.01)
+        peak = controller.beta(0)
+        controller.num_fec_packets(0, 30, 0.02, now=10.0)
+        assert controller.beta(0) < peak
+
+    def test_beta_capped(self):
+        controller = ConvergeFecController()
+        controller.num_fec_packets(0, 5, 0.02, now=0.0)
+        controller.on_nack(0, 1000, now=0.01)
+        assert controller.beta(0) <= 4.0
+
+    def test_never_more_fec_than_media(self):
+        controller = ConvergeFecController()
+        controller.on_nack(0, 100, now=0.0)
+        assert controller.num_fec_packets(0, 5, 0.2, now=0.1) <= 5
+
+    def test_protection_fraction_capped(self):
+        controller = ConvergeFecController()
+        controller.num_fec_packets(0, 100, 0.2, now=0.0)
+        controller.on_nack(0, 500, now=0.01)
+        total = sum(
+            controller.num_fec_packets(0, 100, 0.2, now=0.02 + i * 0.033)
+            for i in range(30)
+        )
+        assert total <= 0.27 * 100 * 30
+
+    def test_paths_are_independent(self):
+        controller = ConvergeFecController()
+        controller.num_fec_packets(0, 30, 0.02, now=0.0)
+        controller.on_nack(0, 20, now=0.01)
+        assert controller.beta(1) == 1.0
+
+    def test_rejects_bad_loss(self):
+        controller = ConvergeFecController()
+        with pytest.raises(ValueError):
+            controller.num_fec_packets(0, 10, 2.0, now=0.0)

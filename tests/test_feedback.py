@@ -1,0 +1,170 @@
+"""Tests for the Converge QoE feedback generator (§4.2)."""
+
+import pytest
+
+from repro.receiver.feedback import QoeFeedbackConfig, QoeFeedbackGenerator
+from repro.receiver.packet_buffer import PacketArrival
+from repro.rtp.packets import FRAME_TYPE_DELTA, PacketType
+from repro.video.decoder import AssembledFrame
+
+
+def frame(frame_id, first_arrival, completed_at):
+    return AssembledFrame(
+        frame_id=frame_id,
+        ssrc=1,
+        frame_type=FRAME_TYPE_DELTA,
+        gop_id=0,
+        size_bytes=1000,
+        capture_time=0.0,
+        has_pps=True,
+        has_sps=False,
+        first_arrival=first_arrival,
+        completed_at=completed_at,
+    )
+
+
+def arrival(seq, path_id, time):
+    return PacketArrival(
+        seq=seq, path_id=path_id, arrival_time=time, packet_type=PacketType.MEDIA
+    )
+
+
+def generator(**config):
+    defaults = dict(ifd_tolerance=1.1, min_feedback_interval=0.0,
+                    fcd_excess_fraction=0.25, fcd_baseline_gain=0.05)
+    defaults.update(config)
+    return QoeFeedbackGenerator(QoeFeedbackConfig(**defaults))
+
+
+def settle_baseline(gen, fcd=0.005, frames=30):
+    """Feed healthy frames so the FCD baseline converges low."""
+    for i in range(frames):
+        f = frame(i, first_arrival=i * 0.033, completed_at=i * 0.033 + fcd)
+        arrivals = [arrival(3 * i + j, j % 2, i * 0.033 + 0.001 * j) for j in range(3)]
+        gen.on_frame_inserted(f, arrivals, ifd=0.033, now=i * 0.033)
+
+
+class TestQoeFeedback:
+    def test_no_feedback_when_ifd_healthy(self):
+        gen = generator()
+        settle_baseline(gen)
+        decision = gen.on_frame_inserted(
+            frame(99, 10.0, 10.01),
+            [arrival(1, 0, 10.0), arrival(2, 1, 10.01)],
+            ifd=0.033,
+            now=10.0,
+        )
+        assert decision is None
+
+    def test_negative_alpha_for_late_path(self):
+        gen = generator()
+        settle_baseline(gen)
+        # Path 0 finishes at t=10.005; path 1's 3 packets land 60 ms later.
+        arrivals = (
+            [arrival(i, 0, 10.0 + 0.001 * i) for i in range(5)]
+            + [arrival(10 + i, 1, 10.065 + 0.001 * i) for i in range(3)]
+        )
+        decision = gen.on_frame_inserted(
+            frame(99, 10.0, 10.068), arrivals, ifd=0.08, now=10.07
+        )
+        assert decision is not None
+        assert decision.path_id == 1
+        assert decision.alpha == -3
+        assert decision.fcd == pytest.approx(0.068)
+
+    def test_positive_alpha_for_early_other_path(self):
+        gen = generator()
+        settle_baseline(gen)
+        # QoE drop not caused by path asymmetry: both paths finish
+        # within the lateness slack, and path 0 delivered most of its
+        # packets well before the reference finished — it has headroom.
+        arrivals = (
+            [arrival(0, 0, 10.0), arrival(1, 0, 10.0205)]
+            + [arrival(10 + i, 1, 10.0 + 0.005 * i) for i in range(5)]
+        )
+        decision = gen.on_frame_inserted(
+            frame(99, 10.0, 10.0205), arrivals, ifd=0.08, now=10.03
+        )
+        assert decision is not None
+        assert decision.path_id == 0
+        assert decision.alpha > 0
+
+    def test_constant_skew_does_not_trigger_negative(self):
+        """A stable RTT difference inflates every FCD equally; the
+        baseline absorbs it and no path is blamed."""
+        gen = generator()
+        # Baseline frames with the same 40 ms skew
+        for i in range(60):
+            t0 = i * 0.033
+            arrivals = (
+                [arrival(5 * i, 0, t0)]
+                + [arrival(5 * i + 1, 1, t0 + 0.04)]
+            )
+            gen.on_frame_inserted(
+                frame(i, t0, t0 + 0.04), arrivals, ifd=0.033, now=t0
+            )
+        # one noisy IFD spike, same skew as always
+        t0 = 60 * 0.033
+        arrivals = [arrival(500, 0, t0), arrival(501, 1, t0 + 0.04)]
+        decision = gen.on_frame_inserted(
+            frame(60, t0, t0 + 0.04), arrivals, ifd=0.05, now=t0
+        )
+        assert decision is None or decision.alpha >= 0
+
+    def test_rate_limited(self):
+        gen = generator(min_feedback_interval=1.0)
+        settle_baseline(gen)
+        arrivals = (
+            [arrival(1, 0, 10.0)]
+            + [arrival(2, 1, 10.1)]
+        )
+        first = gen.on_frame_inserted(
+            frame(99, 10.0, 10.1), arrivals, ifd=0.08, now=10.1
+        )
+        second = gen.on_frame_inserted(
+            frame(100, 10.1, 10.2), arrivals, ifd=0.08, now=10.2
+        )
+        assert first is not None
+        assert second is None
+
+    def test_single_path_frames_never_blamed(self):
+        gen = generator()
+        settle_baseline(gen)
+        arrivals = [arrival(i, 0, 10.0 + 0.01 * i) for i in range(4)]
+        decision = gen.on_frame_inserted(
+            frame(99, 10.0, 10.04), arrivals, ifd=0.2, now=10.05
+        )
+        assert decision is None
+
+    def test_fec_recovered_packets_ignored(self):
+        gen = generator()
+        settle_baseline(gen)
+        late_recovery = PacketArrival(
+            seq=9, path_id=1, arrival_time=10.5,
+            packet_type=PacketType.MEDIA, fec_recovered=True,
+        )
+        arrivals = [arrival(1, 0, 10.0), late_recovery]
+        decision = gen.on_frame_inserted(
+            frame(99, 10.0, 10.5), arrivals, ifd=0.1, now=10.5
+        )
+        assert decision is None
+
+    def test_expected_frame_rate_sets_ifd(self):
+        gen = generator()
+        gen.set_expected_frame_rate(24.0)
+        assert gen.expected_ifd == pytest.approx(1 / 24)
+        with pytest.raises(ValueError):
+            gen.set_expected_frame_rate(0.0)
+
+    def test_alpha_clamped(self):
+        gen = generator(max_negative_alpha=5)
+        settle_baseline(gen)
+        arrivals = (
+            [arrival(i, 0, 10.0) for i in range(3)]
+            + [arrival(100 + i, 1, 10.2) for i in range(50)]
+        )
+        decision = gen.on_frame_inserted(
+            frame(99, 10.0, 10.2), arrivals, ifd=0.1, now=10.2
+        )
+        assert decision is not None
+        assert decision.alpha == -5

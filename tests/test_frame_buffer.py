@@ -1,0 +1,162 @@
+"""Tests for the frame buffer and decode ordering."""
+
+import pytest
+
+from repro.receiver.frame_buffer import FrameBuffer, FrameBufferConfig
+from repro.rtp.packets import FRAME_TYPE_DELTA, FRAME_TYPE_KEY
+from repro.simulation import Simulator
+from repro.video.decoder import AssembledFrame, DecoderModel
+
+
+def frame(frame_id, key=False, gop_id=0):
+    return AssembledFrame(
+        frame_id=frame_id,
+        ssrc=1,
+        frame_type=FRAME_TYPE_KEY if key else FRAME_TYPE_DELTA,
+        gop_id=gop_id,
+        size_bytes=1000,
+        capture_time=frame_id / 30,
+        has_pps=True,
+        has_sps=key,
+    )
+
+
+class Harness:
+    def __init__(self, config=None):
+        self.sim = Simulator()
+        self.rendered = []
+        self.keyframe_requests = 0
+        self.lost = []
+        self.buffer = FrameBuffer(
+            self.sim,
+            DecoderModel(),
+            config or FrameBufferConfig(),
+            on_render=lambda f, t: self.rendered.append((f.frame_id, t)),
+            on_keyframe_needed=self._on_keyframe,
+            on_frame_declared_lost=self.lost.append,
+        )
+
+    def _on_keyframe(self):
+        self.keyframe_requests += 1
+
+    def rendered_ids(self):
+        return [fid for fid, _ in self.rendered]
+
+
+class TestInOrderDecode:
+    def test_decodes_sequential_frames(self):
+        h = Harness()
+        h.buffer.insert(frame(0, key=True))
+        for i in range(1, 5):
+            h.buffer.insert(frame(i))
+        h.sim.run(until=1.0)
+        assert h.rendered_ids() == [0, 1, 2, 3, 4]
+
+    def test_waits_for_keyframe_first(self):
+        h = Harness()
+        h.buffer.insert(frame(1))
+        h.sim.run(until=1.0)
+        assert h.rendered == []
+        assert h.buffer.awaiting_keyframe
+
+    def test_reordered_frames_decode_in_order(self):
+        h = Harness()
+        h.buffer.insert(frame(0, key=True))
+        h.buffer.insert(frame(2))
+        assert h.rendered_ids() == [0]
+        h.buffer.insert(frame(1))
+        assert h.rendered_ids() == [0, 1, 2]
+
+    def test_ifd_tracked(self):
+        h = Harness()
+        h.buffer.insert(frame(0, key=True))
+        h.sim.schedule(0.05, lambda: h.buffer.insert(frame(1)))
+        h.sim.run(until=0.1)
+        assert h.buffer.last_ifd == pytest.approx(0.05)
+
+    def test_render_time_includes_decode_delay(self):
+        config = FrameBufferConfig(decode_delay=0.02)
+        h = Harness(config)
+        h.buffer.insert(frame(0, key=True))
+        assert h.rendered[0][1] == pytest.approx(0.02)
+
+    def test_fec_recovery_penalty(self):
+        config = FrameBufferConfig(decode_delay=0.01, fec_decode_penalty=0.03)
+        h = Harness(config)
+        recovered = frame(0, key=True)
+        recovered.fec_recovered = True
+        h.buffer.insert(recovered)
+        assert h.rendered[0][1] == pytest.approx(0.04)
+
+
+class TestLossHandling:
+    def test_missing_frame_declared_lost_after_timeout(self):
+        config = FrameBufferConfig(wait_timeout=0.2)
+        h = Harness(config)
+        h.buffer.insert(frame(0, key=True))
+        h.buffer.insert(frame(2))  # frame 1 missing
+        h.sim.run(until=1.0)
+        assert 1 in h.lost
+        assert h.keyframe_requests >= 1
+
+    def test_late_frame_before_timeout_decodes(self):
+        config = FrameBufferConfig(wait_timeout=0.5)
+        h = Harness(config)
+        h.buffer.insert(frame(0, key=True))
+        h.buffer.insert(frame(2))
+        h.sim.schedule(0.1, lambda: h.buffer.insert(frame(1)))
+        h.sim.run(until=1.0)
+        assert h.rendered_ids() == [0, 1, 2]
+        assert h.lost == []
+
+    def test_keyframe_jump_over_gap(self):
+        h = Harness()
+        h.buffer.insert(frame(0, key=True))
+        h.buffer.insert(frame(1))
+        # frames 2-9 lost; a new GOP keyframe arrives
+        h.buffer.insert(frame(10, key=True, gop_id=1))
+        assert h.rendered_ids() == [0, 1, 10]
+        h.buffer.insert(frame(11, gop_id=1))
+        assert h.rendered_ids() == [0, 1, 10, 11]
+
+    def test_keyframe_jump_drops_stale_frames(self):
+        h = Harness()
+        h.buffer.insert(frame(0, key=True))
+        h.buffer.insert(frame(3))  # blocked: 1-2 missing
+        h.buffer.insert(frame(4))
+        before = h.buffer.stats.frames_dropped
+        h.buffer.insert(frame(10, key=True, gop_id=1))
+        assert h.rendered_ids()[-1] == 10
+        assert h.buffer.stats.frames_dropped > before
+
+    def test_deltas_dropped_while_awaiting_keyframe(self):
+        config = FrameBufferConfig(wait_timeout=0.1)
+        h = Harness(config)
+        h.buffer.insert(frame(0, key=True))
+        h.buffer.insert(frame(2))  # 1 missing -> timeout -> awaiting key
+        h.sim.run(until=0.5)
+        dropped_before = h.buffer.stats.frames_dropped
+        h.buffer.insert(frame(3))
+        assert h.buffer.stats.frames_dropped == dropped_before + 1
+
+    def test_obsolete_frame_dropped(self):
+        h = Harness()
+        h.buffer.insert(frame(0, key=True))
+        h.buffer.insert(frame(1))
+        h.buffer.insert(frame(1))  # already decoded
+        assert h.buffer.stats.frames_dropped == 1
+
+    def test_purge_when_full(self):
+        config = FrameBufferConfig(capacity_frames=4, wait_timeout=10.0)
+        h = Harness(config)
+        h.buffer.insert(frame(0, key=True))
+        # frame 1 missing; 2..8 accumulate past capacity
+        for i in range(2, 9):
+            h.buffer.insert(frame(i))
+        assert h.buffer.stats.purges > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameBufferConfig(capacity_frames=1)
+        with pytest.raises(ValueError):
+            FrameBufferConfig(wait_timeout=0.0)

@@ -1,0 +1,147 @@
+"""Tests for the bounded packet buffer (frame assembly + eviction)."""
+
+import pytest
+
+from repro.receiver.packet_buffer import PacketBuffer, PacketBufferConfig
+from repro.rtp.packets import FRAME_TYPE_DELTA, FRAME_TYPE_KEY, PacketType, RtpPacket
+from repro.video.packetizer import Packetizer
+from repro.video.frames import VideoFrame
+
+
+def make_frame(frame_id, size=3000, key=False, gop_id=0):
+    return VideoFrame(
+        frame_id=frame_id,
+        ssrc=1,
+        frame_type=FRAME_TYPE_KEY if key else FRAME_TYPE_DELTA,
+        size_bytes=size,
+        capture_time=frame_id / 30,
+        qp=30,
+        gop_id=gop_id,
+        depends_on=None if key else frame_id - 1,
+    )
+
+
+@pytest.fixture
+def packetizer():
+    return Packetizer(1)
+
+
+class TestFrameAssembly:
+    def test_frame_completes_when_all_packets_arrive(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        result = None
+        for i, packet in enumerate(packets):
+            result = buffer.insert(packet, now=0.01 * i)
+        assert result is not None
+        frame, arrivals = result
+        assert frame.frame_id == 0
+        assert frame.has_pps and frame.has_sps
+        assert len(arrivals) == len(packets)
+
+    def test_incomplete_frame_not_delivered(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        for packet in packets[:-1]:
+            assert buffer.insert(packet, now=0.0) is None
+        assert buffer.frame_pending(0)
+
+    def test_out_of_order_completion(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        result = None
+        for packet in reversed(packets):
+            result = buffer.insert(packet, now=0.0) or result
+        assert result is not None
+
+    def test_duplicates_counted_and_ignored(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        buffer.insert(packets[0], now=0.0)
+        buffer.insert(packets[0], now=0.0)
+        assert buffer.stats.duplicates == 1
+
+    def test_rtx_counts_under_original_seq(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        lost = packets[2]
+        for packet in packets:
+            if packet is not lost:
+                buffer.insert(packet, now=0.0)
+        rtx = lost.clone_for_retransmission(new_seq=5000, now=1.0)
+        result = buffer.insert(rtx, now=1.0)
+        assert result is not None
+
+    def test_fcd_fields(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        for i, packet in enumerate(packets):
+            result = buffer.insert(packet, now=1.0 + 0.01 * i)
+        frame, _ = result
+        assert frame.first_arrival == 1.0
+        assert frame.completed_at == pytest.approx(1.0 + 0.01 * (len(packets) - 1))
+
+    def test_media_bytes_exclude_parameter_sets(self, packetizer):
+        buffer = PacketBuffer(1)
+        frame = make_frame(0, size=2400, key=True)
+        packets = packetizer.packetize(frame)
+        for packet in packets:
+            result = buffer.insert(packet, now=0.0)
+        assembled, _ = result
+        assert assembled.size_bytes == 2400
+
+    def test_completed_frame_is_dead(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        for packet in packets:
+            buffer.insert(packet, now=0.0)
+        assert buffer.is_dead(0)
+        # late duplicate for a finished frame is ignored
+        assert buffer.insert(packets[0], now=1.0) is None
+
+
+class TestEviction:
+    def test_oldest_incomplete_frame_evicted_on_overflow(self, packetizer):
+        buffer = PacketBuffer(1, PacketBufferConfig(capacity_packets=8))
+        # Two incomplete frames of 3 packets each (missing last packet),
+        # then a third frame pushes past capacity.
+        frames = [packetizer.packetize(make_frame(i, size=2400, key=(i == 0))) for i in range(4)]
+        for packets in frames[:3]:
+            for packet in packets[:-1]:
+                buffer.insert(packet, now=0.0)
+        # capacity 8: inserting frame 3 must evict frame 0's packets
+        for packet in frames[3][:-1]:
+            buffer.insert(packet, now=0.1)
+        assert buffer.stats.evicted_frames >= 1
+        assert buffer.is_dead(0)
+
+    def test_packets_for_evicted_frame_dropped(self, packetizer):
+        buffer = PacketBuffer(1, PacketBufferConfig(capacity_packets=8))
+        frames = [packetizer.packetize(make_frame(i, size=2400, key=(i == 0))) for i in range(4)]
+        held_back = frames[0][-1]
+        for packets in frames:
+            for packet in packets[:-1]:
+                buffer.insert(packet, now=0.0)
+        assert buffer.is_dead(0)
+        assert buffer.insert(held_back, now=1.0) is None
+
+    def test_drop_frame_explicit(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        buffer.insert(packets[0], now=0.0)
+        assert buffer.drop_frame(0)
+        assert buffer.is_dead(0)
+        assert buffer.packet_count == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PacketBufferConfig(capacity_packets=2)
+
+    def test_packet_count_tracks_inserts_and_completions(self, packetizer):
+        buffer = PacketBuffer(1)
+        packets = packetizer.packetize(make_frame(0, key=True))
+        for packet in packets[:-1]:
+            buffer.insert(packet, now=0.0)
+        assert buffer.packet_count == len(packets) - 1
+        buffer.insert(packets[-1], now=0.0)
+        assert buffer.packet_count == 0

@@ -1,0 +1,100 @@
+"""Tests for the adaptive playout smoother."""
+
+import pytest
+
+from repro.core.config import SystemKind
+from repro.experiments.common import constant_paths, run_system
+from repro.receiver.playout import AdaptivePlayout, PlayoutConfig
+from repro.receiver.session import ReceiverConfig
+from repro.rtp.packets import FRAME_TYPE_DELTA
+from repro.video.decoder import AssembledFrame
+
+
+def frame(frame_id, capture_time):
+    return AssembledFrame(
+        frame_id=frame_id,
+        ssrc=1,
+        frame_type=FRAME_TYPE_DELTA,
+        gop_id=0,
+        size_bytes=1000,
+        capture_time=capture_time,
+        has_pps=True,
+        has_sps=False,
+    )
+
+
+class TestAdaptivePlayout:
+    def test_delay_tracks_latency_quantile(self):
+        playout = AdaptivePlayout()
+        for i in range(60):
+            playout.observe(frame(i, capture_time=i / 30), now=i / 30 + 0.08)
+        assert playout.delay == pytest.approx(0.09, abs=0.02)
+
+    def test_raises_fast_on_late_frame(self):
+        playout = AdaptivePlayout()
+        for i in range(30):
+            playout.observe(frame(i, i / 30), now=i / 30 + 0.02)
+        before = playout.delay
+        playout.observe(frame(30, 1.0), now=1.0 + 0.3)
+        assert playout.delay > before + 0.1
+
+    def test_drains_slowly(self):
+        config = PlayoutConfig(window=10)
+        playout = AdaptivePlayout(config)
+        playout.observe(frame(0, 0.0), now=0.4)  # one very late frame
+        peak = playout.delay
+        # ten quick frames push the spike out of the window
+        for i in range(1, 12):
+            playout.observe(frame(i, i / 30), now=i / 30 + 0.02)
+        assert playout.delay < peak
+        assert playout.delay > 0.03  # but it has not collapsed instantly
+
+    def test_delay_bounded(self):
+        config = PlayoutConfig(max_delay=0.2)
+        playout = AdaptivePlayout(config)
+        playout.observe(frame(0, 0.0), now=5.0)
+        assert playout.delay == 0.2
+
+    def test_render_times_monotone(self):
+        playout = AdaptivePlayout()
+        previous = -1.0
+        for i in range(50):
+            playout.observe(frame(i, i / 30), now=i / 30 + 0.05)
+            t = playout.render_time(frame(i, i / 30), decode_done=i / 30 + 0.06)
+            assert t > previous
+            previous = t
+
+    def test_render_never_before_decode(self):
+        playout = AdaptivePlayout()
+        t = playout.render_time(frame(0, 0.0), decode_done=0.5)
+        assert t >= 0.5
+
+
+class TestPlayoutInCall:
+    def test_smoothing_reduces_ifd_variance(self):
+        paths = constant_paths([10e6, 10e6], [0.02, 0.05], [0.01, 0.01])
+
+        def render_gap_std(adaptive):
+            receiver = ReceiverConfig(adaptive_playout=adaptive)
+            result = run_system(
+                SystemKind.CONVERGE, paths, duration=20.0, seed=6,
+                receiver=receiver,
+            )
+            times = sorted(f.render_time for f in result.metrics.rendered)
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            mean = sum(gaps) / len(gaps)
+            return (sum((g - mean) ** 2 for g in gaps) / len(gaps)) ** 0.5
+
+        assert render_gap_std(True) <= render_gap_std(False) * 1.05
+
+    def test_smoothing_costs_latency(self):
+        paths = constant_paths([10e6, 10e6], [0.02, 0.05], [0.01, 0.01])
+        smooth = run_system(
+            SystemKind.CONVERGE, paths, duration=20.0, seed=6,
+            receiver=ReceiverConfig(adaptive_playout=True),
+        ).summary
+        raw = run_system(
+            SystemKind.CONVERGE, paths, duration=20.0, seed=6,
+            receiver=ReceiverConfig(adaptive_playout=False),
+        ).summary
+        assert smooth.e2e_mean >= raw.e2e_mean

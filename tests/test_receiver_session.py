@@ -1,0 +1,250 @@
+"""Integration tests for the receiver session over emulated paths."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.loss import BernoulliLoss
+from repro.net.multipath import PathSet
+from repro.net.path import PathConfig
+from repro.net.trace import BandwidthTrace
+from repro.receiver.session import ReceiverConfig, ReceiverSession
+from repro.rtp.packets import PacketType, RtpPacket
+from repro.rtp.rtcp import (
+    KeyframeRequest,
+    Nack,
+    QoeFeedback,
+    ReceiverReport,
+    SdesFrameRate,
+    TransportFeedback,
+)
+from repro.simulation import Simulator
+from repro.video.encoder import Encoder, EncoderConfig
+from repro.video.packetizer import Packetizer
+
+
+class Harness:
+    """A receiver wired to two paths plus a scripted sender side."""
+
+    def __init__(self, seed=1, receiver_config=None):
+        self.sim = Simulator(seed)
+        self.paths = PathSet(
+            self.sim,
+            [
+                PathConfig(path_id=0, trace=BandwidthTrace.constant(20e6),
+                           propagation_delay=0.01, jitter_max=0.0),
+                PathConfig(path_id=1, trace=BandwidthTrace.constant(20e6),
+                           propagation_delay=0.03, jitter_max=0.0),
+            ],
+        )
+        self.metrics = MetricsCollector()
+        self.rtcp = []
+        self.receiver = ReceiverSession(
+            self.sim,
+            self.paths,
+            ssrcs=[1],
+            config=receiver_config or ReceiverConfig(),
+            metrics=self.metrics,
+            on_rtcp=self.rtcp.append,
+        )
+        self.encoder = Encoder(
+            EncoderConfig(ssrc=1, gop_length=1000), self.sim.streams
+        )
+        self.encoder.set_target_bitrate(2e6)
+        self.packetizer = Packetizer(1)
+        self._tseq = {0: 0, 1: 0}
+        self._mpseq = {0: 0, 1: 0}
+
+    def bind_and_send(self, packet, path_id):
+        packet.path_id = path_id
+        packet.mp_seq = self._mpseq[path_id] % 65536
+        packet.mp_transport_seq = self._tseq[path_id]
+        self._mpseq[path_id] += 1
+        self._tseq[path_id] += 1
+        packet.send_time = self.sim.now
+        self.paths.get(path_id).send(packet)
+
+    def send_frame(self, capture_time=None, path_for=None, skip_seqs=()):
+        frame = self.encoder.encode_frame(
+            capture_time if capture_time is not None else self.sim.now
+        )
+        packets = self.packetizer.packetize(frame)
+        for i, packet in enumerate(packets):
+            if packet.seq in skip_seqs:
+                continue
+            path_id = path_for(i, packet) if path_for else 0
+            self.bind_and_send(packet, path_id)
+        return frame, packets
+
+    def messages(self, kind):
+        return [m for m in self.rtcp if isinstance(m, kind)]
+
+
+class TestReceiveAndRender:
+    def test_frames_render_in_order(self):
+        h = Harness()
+
+        def tick():
+            h.send_frame()
+
+        for i in range(30):
+            h.sim.schedule(i / 30, tick)
+        h.sim.run(until=2.0)
+        rendered = h.metrics.rendered
+        assert len(rendered) == 30
+        assert [f.frame_id for f in rendered] == list(range(30))
+
+    def test_multipath_split_frame_renders(self):
+        h = Harness()
+        h.sim.schedule(0.0, lambda: h.send_frame(path_for=lambda i, p: i % 2))
+        h.sim.run(until=1.0)
+        assert len(h.metrics.rendered) == 1
+
+    def test_lost_packet_triggers_nack(self):
+        h = Harness()
+
+        def first():
+            frame, packets = h.send_frame(skip_seqs={2})
+
+        h.sim.schedule(0.0, first)
+        h.sim.schedule(1 / 30, lambda: h.send_frame())
+        h.sim.run(until=1.0)
+        nacks = h.messages(Nack)
+        assert nacks
+        assert 2 in nacks[0].seqs
+
+    def test_rtx_completes_frame(self):
+        h = Harness()
+        held = {}
+
+        def first():
+            frame, packets = h.send_frame(skip_seqs={2})
+            held["packet"] = next(p for p in packets if p.seq == 2)
+
+        def retransmit():
+            rtx = held["packet"].clone_for_retransmission(9000, h.sim.now)
+            h.bind_and_send(rtx, 0)
+
+        h.sim.schedule(0.0, first)
+        h.sim.schedule(0.15, retransmit)
+        h.sim.run(until=1.0)
+        assert len(h.metrics.rendered) == 1
+
+    def test_fec_recovers_lost_packet_without_nack_rtx(self):
+        h = Harness()
+
+        def first():
+            frame, packets = h.send_frame(skip_seqs={2})
+            media = [p for p in packets if p.is_media]
+            protected = [p for p in media if p.seq in (1, 2, 3)]
+            fec = RtpPacket(
+                ssrc=1,
+                seq=50_000,
+                timestamp=packets[0].timestamp,
+                frame_id=frame.frame_id,
+                frame_type=frame.frame_type,
+                packet_type=PacketType.FEC,
+                payload_size=1200,
+                gop_id=frame.gop_id,
+                protected_seqs=[p.seq for p in protected],
+                protected_packets=protected,
+            )
+            h.bind_and_send(fec, 0)
+
+        h.sim.schedule(0.0, first)
+        h.sim.run(until=0.5)
+        assert len(h.metrics.rendered) == 1
+        assert h.metrics.rendered[0].fec_recovered
+
+    def test_too_late_frame_dropped_by_playout_deadline(self):
+        config = ReceiverConfig(max_playout_latency=0.3)
+        h = Harness(receiver_config=config)
+        h.sim.schedule(0.0, lambda: h.send_frame(capture_time=0.0))
+        # Second frame "captured" at 0.033 but sent very late.
+        h.sim.schedule(
+            0.5, lambda: h.send_frame(capture_time=0.033)
+        )
+        h.sim.run(until=2.0)
+        reasons = [r for _, _, _, r in h.metrics.frame_drops]
+        assert "too-late" in reasons
+
+
+class TestRtcpGeneration:
+    def test_transport_feedback_per_path(self):
+        h = Harness()
+        h.sim.schedule(0.0, lambda: h.send_frame(path_for=lambda i, p: i % 2))
+        h.sim.run(until=0.5)
+        feedback = h.messages(TransportFeedback)
+        assert {m.path_id for m in feedback} == {0, 1}
+        total_acked = sum(len(m.packets) for m in feedback)
+        assert total_acked > 0
+
+    def test_receiver_reports_loss_fraction(self):
+        h = Harness()
+        # Path 0 with 30% random loss
+        h.paths.get(0).config.loss_model = BernoulliLoss(0.3)
+
+        def tick():
+            h.send_frame()
+
+        for i in range(60):
+            h.sim.schedule(i / 30, tick)
+        h.sim.run(until=3.0)
+        reports = [m for m in h.messages(ReceiverReport) if m.path_id == 0]
+        assert reports
+        mean_loss = sum(m.fraction_lost for m in reports) / len(reports)
+        assert 0.15 < mean_loss < 0.45
+
+    def test_keyframe_requested_when_chain_breaks(self):
+        h = Harness()
+        h.sim.schedule(0.0, lambda: h.send_frame())  # keyframe
+        # frame 1 entirely lost, then a steady stream of deltas
+        h.sim.schedule(1 / 30, lambda: h.send_frame(skip_seqs=set(range(0, 100_000))))
+        for i in range(2, 40):
+            h.sim.schedule(i / 30, lambda: h.send_frame())
+        h.sim.run(until=6.0)
+        assert h.messages(KeyframeRequest)
+
+    def test_sdes_sets_expected_frame_rate(self):
+        h = Harness()
+        h.receiver.on_rtcp_from_sender(
+            SdesFrameRate(ssrc=1, path_id=-1, frame_rate=24.0)
+        )
+        stream = h.receiver.stream_state(1)
+        assert stream.feedback.expected_ifd == pytest.approx(1 / 24)
+
+    def test_qoe_feedback_emitted_for_late_path(self):
+        config = ReceiverConfig()
+        config.feedback.ifd_tolerance = 1.05
+        config.feedback.fcd_excess_fraction = 0.1
+        h = Harness(receiver_config=config)
+
+        counter = [0]
+
+        def tick():
+            # Path 1's share of each frame arrives later and later, as
+            # if its queue were building: IFD and FCD both grow, which
+            # is the §4.2 trigger (constant skew would be absorbed by
+            # the FCD baseline by design).
+            frame = h.encoder.encode_frame(h.sim.now)
+            packets = h.packetizer.packetize(frame)
+            for packet in packets[:-1]:
+                h.bind_and_send(packet, 0)
+            last = packets[-1]
+            lag = 0.02 + counter[0] * 0.006
+            counter[0] += 1
+            h.sim.schedule(lag, lambda p=last: h.bind_and_send(p, 1))
+
+        for i in range(60):
+            h.sim.schedule(i / 30, tick)
+        h.sim.run(until=3.0)
+        feedback = h.messages(QoeFeedback)
+        assert feedback
+        assert any(m.alpha < 0 and m.path_id == 1 for m in feedback)
+
+    def test_finalize_flushes_buffer_stats(self):
+        h = Harness()
+        h.sim.schedule(0.0, lambda: h.send_frame())
+        h.sim.run(until=0.5)
+        h.receiver.finalize()
+        # no drops in a clean run
+        assert h.metrics.frame_drop_count == 0

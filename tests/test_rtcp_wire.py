@@ -1,0 +1,153 @@
+"""Tests for the full RTCP wire format set."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.rtcp import (
+    KeyframeRequest,
+    Nack,
+    QoeFeedback,
+    SdesFrameRate,
+    TransportFeedback,
+)
+from repro.rtp.rtcp_wire import (
+    pack_compound,
+    pack_message,
+    pack_nack,
+    pack_qoe_feedback,
+    pack_transport_feedback,
+    unpack_compound,
+    unpack_message,
+    unpack_nack,
+    unpack_qoe_feedback,
+    unpack_transport_feedback,
+)
+
+
+class TestTransportFeedbackWire:
+    def test_roundtrip(self):
+        message = TransportFeedback(
+            ssrc=7,
+            path_id=1,
+            packets=[(100, 1.0001), (101, 1.0004), (103, 1.0011)],
+        )
+        parsed = unpack_transport_feedback(pack_transport_feedback(message))
+        assert parsed.ssrc == 7
+        assert parsed.path_id == 1
+        assert [seq for seq, _ in parsed.packets] == [100, 101, 103]
+        for (_, a), (_, b) in zip(parsed.packets, message.packets):
+            assert abs(a - b) <= 0.00025
+
+    def test_empty_feedback(self):
+        message = TransportFeedback(ssrc=1, path_id=0, packets=[])
+        parsed = unpack_transport_feedback(pack_transport_feedback(message))
+        assert parsed.packets == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5000),
+                st.floats(min_value=0.0, max_value=1000.0),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_roundtrip_property(self, entries):
+        # unique seqs, as the receiver produces
+        unique = {seq: t for seq, t in entries}
+        message = TransportFeedback(
+            ssrc=1, path_id=0, packets=sorted(unique.items())
+        )
+        parsed = unpack_transport_feedback(pack_transport_feedback(message))
+        assert [s for s, _ in parsed.packets] == [s for s, _ in message.packets]
+        for (_, a), (_, b) in zip(parsed.packets, message.packets):
+            assert abs(a - b) <= 0.0005
+
+
+class TestNackWire:
+    def test_roundtrip_simple(self):
+        message = Nack(ssrc=3, path_id=-1, seqs=[10, 11, 14])
+        parsed = unpack_nack(pack_nack(message))
+        assert parsed.seqs == [10, 11, 14]
+        assert parsed.path_id == -1
+
+    def test_blp_compression(self):
+        """17 consecutive seqs fit in one (PID, BLP) pair; 18 need two."""
+        seqs = list(range(100, 117))
+        packed = pack_nack(Nack(ssrc=1, path_id=0, seqs=seqs))
+        assert len(packed) == 4 + 8 + 4
+        assert unpack_nack(packed).seqs == seqs
+        wider = pack_nack(Nack(ssrc=1, path_id=0, seqs=list(range(100, 118))))
+        assert len(wider) == 4 + 8 + 2 * 4
+
+    @given(st.sets(st.integers(0, 60000), min_size=1, max_size=50))
+    def test_roundtrip_property(self, seqs):
+        message = Nack(ssrc=1, path_id=0, seqs=sorted(seqs))
+        assert unpack_nack(pack_nack(message)).seqs == sorted(seqs)
+
+
+class TestAppMessages:
+    def test_keyframe_request_roundtrip(self):
+        message = KeyframeRequest(ssrc=9, path_id=2, frame_id=1234)
+        parsed = unpack_message(pack_message(message))
+        assert isinstance(parsed, KeyframeRequest)
+        assert parsed.frame_id == 1234
+
+    def test_sdes_frame_rate_roundtrip(self):
+        message = SdesFrameRate(ssrc=1, path_id=-1, frame_rate=29.97)
+        parsed = unpack_message(pack_message(message))
+        assert isinstance(parsed, SdesFrameRate)
+        assert parsed.frame_rate == pytest.approx(29.97, abs=1 / 256)
+
+    def test_qoe_feedback_roundtrip(self):
+        message = QoeFeedback(ssrc=1, path_id=1, alpha=-7, fcd=0.0625)
+        parsed = unpack_qoe_feedback(pack_qoe_feedback(message))
+        assert parsed.alpha == -7
+        assert parsed.path_id == 1
+        assert parsed.fcd == pytest.approx(0.0625, abs=0.001)
+
+    @given(
+        st.integers(-(2**15), 2**15 - 1),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_qoe_feedback_property(self, alpha, fcd):
+        message = QoeFeedback(ssrc=1, path_id=0, alpha=alpha, fcd=fcd)
+        parsed = unpack_qoe_feedback(pack_qoe_feedback(message))
+        assert parsed.alpha == alpha
+        assert abs(parsed.fcd - fcd) <= 0.0006
+
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_qoe_feedback(QoeFeedback(ssrc=1, path_id=0, alpha=2**15, fcd=0))
+
+
+class TestCompound:
+    def test_compound_roundtrip(self):
+        messages = [
+            TransportFeedback(ssrc=1, path_id=0, packets=[(5, 0.5)]),
+            Nack(ssrc=1, path_id=-1, seqs=[9]),
+            QoeFeedback(ssrc=1, path_id=1, alpha=-3, fcd=0.02),
+            SdesFrameRate(ssrc=1, path_id=-1, frame_rate=30.0),
+            KeyframeRequest(ssrc=1, path_id=-1, frame_id=7),
+        ]
+        parsed = unpack_compound(pack_compound(messages))
+        assert [type(m).__name__ for m in parsed] == [
+            type(m).__name__ for m in messages
+        ]
+
+    def test_empty_compound_rejected(self):
+        with pytest.raises(ValueError):
+            pack_compound([])
+
+    def test_truncated_compound_rejected(self):
+        packed = pack_compound(
+            [Nack(ssrc=1, path_id=0, seqs=[1])]
+        )
+        with pytest.raises(ValueError):
+            unpack_compound(packed[:-2])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_message(b"\x80\x00\x00\x00")

@@ -1,0 +1,186 @@
+"""Tests for RTP packets, RTCP messages, and wire serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp import (
+    FRAME_TYPE_DELTA,
+    FRAME_TYPE_KEY,
+    Nack,
+    PacketType,
+    QoeFeedback,
+    ReceiverReport,
+    RtpPacket,
+    SdesFrameRate,
+    TransportFeedback,
+    priority_of,
+)
+from repro.rtp.packets import RTP_HEADER_BYTES
+from repro.rtp.serialization import (
+    RtcpWireReport,
+    RtpWireHeader,
+    pack_rtcp_report,
+    pack_rtp_header,
+    unpack_rtcp_report,
+    unpack_rtp_header,
+)
+
+
+def make_packet(**overrides):
+    defaults = dict(
+        ssrc=1,
+        seq=10,
+        timestamp=90_000,
+        frame_id=3,
+        frame_type=FRAME_TYPE_DELTA,
+        packet_type=PacketType.MEDIA,
+        payload_size=1200,
+    )
+    defaults.update(overrides)
+    return RtpPacket(**defaults)
+
+
+class TestPriorities:
+    def test_table2_ordering(self):
+        assert priority_of(PacketType.RETRANSMISSION) == 1
+        assert priority_of(PacketType.KEYFRAME) == 2
+        assert priority_of(PacketType.SPS) == 3
+        assert priority_of(PacketType.PPS) == 4
+        assert priority_of(PacketType.FEC) == 5
+        assert priority_of(PacketType.MEDIA) is None
+
+    def test_is_priority(self):
+        assert not make_packet().is_priority
+        assert make_packet(packet_type=PacketType.SPS).is_priority
+
+
+class TestRtpPacket:
+    def test_size_includes_headers(self):
+        packet = make_packet(payload_size=1000)
+        assert packet.size_bytes == 1000 + RTP_HEADER_BYTES
+
+    def test_fec_is_not_media(self):
+        assert not make_packet(packet_type=PacketType.FEC).is_media
+        assert make_packet().is_media
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            make_packet(payload_size=-1)
+
+    def test_rejects_bad_frame_type(self):
+        with pytest.raises(ValueError):
+            make_packet(frame_type="bidirectional")
+
+    def test_retransmission_clone(self):
+        original = make_packet(seq=42, frame_type=FRAME_TYPE_KEY,
+                               packet_type=PacketType.KEYFRAME, gop_id=7)
+        rtx = original.clone_for_retransmission(new_seq=9000, now=1.5)
+        assert rtx.packet_type is PacketType.RETRANSMISSION
+        assert rtx.original_seq == 42
+        assert rtx.seq == 9000
+        assert rtx.frame_id == original.frame_id
+        assert rtx.gop_id == 7
+        assert rtx.payload_size == original.payload_size
+        assert rtx.priority == 1
+
+    def test_uids_are_unique(self):
+        assert make_packet().uid != make_packet().uid
+
+
+class TestRtcpMessages:
+    def test_sizes_grow_with_content(self):
+        small = TransportFeedback(ssrc=0, path_id=0, packets=[(1, 0.1)])
+        big = TransportFeedback(ssrc=0, path_id=0, packets=[(i, 0.1) for i in range(10)])
+        assert big.size_bytes > small.size_bytes
+
+    def test_nack_size(self):
+        nack = Nack(ssrc=1, path_id=0, seqs=[1, 2, 3])
+        assert nack.size_bytes == 12 + 12
+
+    def test_qoe_feedback_fields(self):
+        feedback = QoeFeedback(ssrc=1, path_id=2, alpha=-4, fcd=0.05)
+        assert feedback.alpha == -4
+        assert feedback.path_id == 2
+
+    def test_sdes_default_rate(self):
+        assert SdesFrameRate(ssrc=1, path_id=-1).frame_rate == 30.0
+
+
+class TestRtpWireFormat:
+    def test_roundtrip(self):
+        header = RtpWireHeader(
+            seq=1234,
+            timestamp=567890,
+            ssrc=42,
+            marker=True,
+            payload_type=96,
+            path_id=2,
+            mp_seq=777,
+            mp_transport_seq=888,
+        )
+        packed = pack_rtp_header(header)
+        assert unpack_rtp_header(packed) == header
+
+    def test_packed_length_matches_constant(self):
+        header = RtpWireHeader(1, 2, 3, False, 96, 0, 0, 0)
+        assert len(pack_rtp_header(header)) == RTP_HEADER_BYTES
+
+    @given(
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 255),
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 2**16 - 1),
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, seq, timestamp, path_id, mp_seq, mp_tseq, marker):
+        header = RtpWireHeader(
+            seq=seq,
+            timestamp=timestamp,
+            ssrc=99,
+            marker=marker,
+            payload_type=111,
+            path_id=path_id,
+            mp_seq=mp_seq,
+            mp_transport_seq=mp_tseq,
+        )
+        assert unpack_rtp_header(pack_rtp_header(header)) == header
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_rtp_header(RtpWireHeader(2**16, 0, 0, False, 0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            pack_rtp_header(RtpWireHeader(0, 0, 0, False, 0, 300, 0, 0))
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            unpack_rtp_header(b"\x80\x00\x00")
+
+
+class TestRtcpWireFormat:
+    def test_roundtrip(self):
+        report = RtcpWireReport(
+            ssrc=7,
+            path_id=1,
+            fraction_lost=0.25,
+            cumulative_lost=1000,
+            extended_highest_seq=70000,
+            extended_highest_mp_seq=35000,
+        )
+        unpacked = unpack_rtcp_report(pack_rtcp_report(report))
+        assert unpacked.ssrc == report.ssrc
+        assert unpacked.path_id == report.path_id
+        assert unpacked.cumulative_lost == report.cumulative_lost
+        assert unpacked.extended_highest_seq == report.extended_highest_seq
+        assert unpacked.fraction_lost == pytest.approx(0.25, abs=1 / 255)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_fraction_quantization_error_bounded(self, fraction):
+        report = RtcpWireReport(1, 0, fraction, 0, 0, 0)
+        unpacked = unpack_rtcp_report(pack_rtcp_report(report))
+        assert abs(unpacked.fraction_lost - fraction) <= 0.5 / 255 + 1e-9
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            pack_rtcp_report(RtcpWireReport(1, 0, 1.5, 0, 0, 0))

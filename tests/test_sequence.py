@@ -1,0 +1,111 @@
+"""Tests for 16-bit sequence-number arithmetic, with property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.sequence import (
+    SEQ_MOD,
+    SequenceUnwrapper,
+    seq_add,
+    seq_diff,
+    seq_less_than,
+    unwrap_near,
+)
+
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+
+
+class TestSeqDiff:
+    def test_simple_forward(self):
+        assert seq_diff(10, 5) == 5
+
+    def test_simple_backward(self):
+        assert seq_diff(5, 10) == -5
+
+    def test_wraparound_forward(self):
+        assert seq_diff(2, SEQ_MOD - 3) == 5
+
+    def test_wraparound_backward(self):
+        assert seq_diff(SEQ_MOD - 3, 2) == -5
+
+    def test_equal(self):
+        assert seq_diff(100, 100) == 0
+
+    @given(seqs, seqs)
+    def test_antisymmetric_except_half(self, a, b):
+        d = seq_diff(a, b)
+        if d != -(SEQ_MOD // 2):
+            assert seq_diff(b, a) == -d
+
+    @given(seqs, st.integers(min_value=-30000, max_value=30000))
+    def test_diff_recovers_delta(self, base, delta):
+        other = seq_add(base, delta)
+        assert seq_diff(other, base) == delta
+
+
+class TestSeqLessThan:
+    def test_ordering_near_wrap(self):
+        assert seq_less_than(SEQ_MOD - 1, 0)
+        assert not seq_less_than(0, SEQ_MOD - 1)
+
+    @given(seqs)
+    def test_irreflexive(self, a):
+        assert not seq_less_than(a, a)
+
+
+class TestSequenceUnwrapper:
+    def test_monotone_stream(self):
+        unwrapper = SequenceUnwrapper()
+        values = [unwrapper.unwrap(i % SEQ_MOD) for i in range(100)]
+        assert values == list(range(100))
+
+    def test_crosses_wrap_boundary(self):
+        unwrapper = SequenceUnwrapper()
+        unwrapper.unwrap(SEQ_MOD - 2)
+        assert unwrapper.unwrap(SEQ_MOD - 1) == SEQ_MOD - 1
+        assert unwrapper.unwrap(0) == SEQ_MOD
+        assert unwrapper.unwrap(1) == SEQ_MOD + 1
+
+    def test_tolerates_reordering(self):
+        unwrapper = SequenceUnwrapper()
+        assert unwrapper.unwrap(1000) == 1000
+        assert unwrapper.unwrap(998) == 998
+        assert unwrapper.unwrap(1001) == 1001
+
+    def test_rejects_out_of_range(self):
+        unwrapper = SequenceUnwrapper()
+        with pytest.raises(ValueError):
+            unwrapper.unwrap(SEQ_MOD)
+        with pytest.raises(ValueError):
+            unwrapper.unwrap(-1)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=200), min_size=1, max_size=400))
+    def test_unwrap_tracks_true_sequence(self, deltas):
+        """Feeding wrapped values of a true sequence recovers it exactly
+        as long as jumps stay under half the sequence space."""
+        unwrapper = SequenceUnwrapper()
+        true_value = 50
+        assert unwrapper.unwrap(true_value % SEQ_MOD) == true_value
+        for delta in deltas:
+            true_value = max(true_value + delta, 0)
+            assert unwrapper.unwrap(true_value % SEQ_MOD) - true_value in (
+                0,
+            ), f"diverged at {true_value}"
+
+
+class TestUnwrapNear:
+    def test_identity_when_close(self):
+        assert unwrap_near(105, 100) == 105
+
+    def test_across_wrap(self):
+        reference = SEQ_MOD + 10
+        assert unwrap_near(5, reference) == SEQ_MOD + 5
+        assert unwrap_near(SEQ_MOD - 5, reference) == SEQ_MOD - 5
+
+    @given(st.integers(min_value=0, max_value=10 * SEQ_MOD), st.integers(min_value=-30000, max_value=30000))
+    def test_roundtrip(self, reference, offset):
+        target = reference + offset
+        if target < 0:
+            return
+        assert unwrap_near(target % SEQ_MOD, reference) == target

@@ -1,0 +1,167 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.simulation import PeriodicProcess, RandomStreams, Simulator
+from repro.simulation.events import EventQueue
+from repro.simulation.random import derive_seed
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("first"))
+        queue.push(1.0, lambda: order.append("second"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_event_at_until_boundary_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [2]
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_stop_halts_dispatch(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == []
+
+
+class TestPeriodicProcess:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicProcess(sim, 0.5, lambda: ticks.append(sim.now))
+        sim.run(until=2.0)
+        assert ticks == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now), start_delay=0.25)
+        sim.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_cancels_future_ticks(self):
+        sim = Simulator()
+        ticks = []
+        process = PeriodicProcess(sim, 0.5, lambda: ticks.append(sim.now))
+        sim.schedule(1.1, process.stop)
+        sim.run(until=3.0)
+        assert ticks == [0.0, 0.5, 1.0]
+        assert not process.running
+
+    def test_interval_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(7).stream("loss")
+        b = RandomStreams(7).stream("loss")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent_of_creation_order(self):
+        one = RandomStreams(7)
+        two = RandomStreams(7)
+        one.stream("x")
+        draw_one = one.stream("y").random()
+        draw_two = two.stream("y").random()
+        assert draw_one == draw_two
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_fork_derives_new_seed(self):
+        root = RandomStreams(7)
+        child = root.fork("exp1")
+        assert child.seed != root.seed
+        assert child.seed == RandomStreams(7).fork("exp1").seed
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+        assert derive_seed(1, "x") != derive_seed(2, "x")

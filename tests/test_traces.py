@@ -1,0 +1,121 @@
+"""Tests for the synthetic scenario trace generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.loss import GilbertElliottLoss, ScheduledLoss
+from repro.simulation.random import RandomStreams
+from repro.traces import (
+    make_scenario_trace,
+    markov_fade_envelope,
+    ou_capacity_trace,
+    scenario_networks,
+)
+from repro.traces.generator import combine_trace
+from repro.traces.scenarios import get_scenario, make_loss_model, propagation_delay
+
+
+class TestGenerators:
+    def test_ou_trace_stays_in_bounds(self):
+        rng = RandomStreams(1).stream("t")
+        samples = ou_capacity_trace(
+            rng, 120.0, mean_bps=10e6, std_bps=5e6,
+            floor_bps=1e5, ceil_bps=30e6,
+        )
+        assert all(1e5 <= v <= 30e6 for _, v in samples)
+
+    def test_ou_trace_mean_reverts(self):
+        rng = RandomStreams(1).stream("t")
+        samples = ou_capacity_trace(rng, 600.0, mean_bps=10e6, std_bps=2e6)
+        mean = sum(v for _, v in samples) / len(samples)
+        assert mean == pytest.approx(10e6, rel=0.15)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_envelope_in_unit_interval(self, seed):
+        rng = RandomStreams(seed).stream("e")
+        envelope = markov_fade_envelope(rng, 60.0)
+        assert all(0.0 <= v <= 1.0 for _, v in envelope)
+
+    def test_fades_occur(self):
+        rng = RandomStreams(3).stream("e")
+        envelope = markov_fade_envelope(rng, 600.0, p_enter_fade=0.05)
+        assert any(v < 0.5 for _, v in envelope)
+
+    def test_combine_applies_floor(self):
+        base = [(0.0, 1e6), (1.0, 1e6)]
+        envelope = [(0.0, 0.0), (1.0, 1.0)]
+        trace = combine_trace(base, envelope, floor_bps=50_000)
+        assert trace.capacity_at(0.0) == 50_000
+
+    def test_combine_validates_length(self):
+        with pytest.raises(ValueError):
+            combine_trace([(0.0, 1e6)], [])
+
+    def test_generators_validate(self):
+        rng = RandomStreams(1).stream("x")
+        with pytest.raises(ValueError):
+            ou_capacity_trace(rng, -1.0, 1e6, 1e5)
+
+
+class TestScenarios:
+    def test_known_scenarios(self):
+        assert scenario_networks("stationary") == ["wifi", "tmobile"]
+        assert scenario_networks("driving") == ["tmobile", "verizon"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            get_scenario("flying")
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError):
+            make_scenario_trace("driving", "wifi", 10.0, RandomStreams(1))
+
+    def test_traces_deterministic_per_seed(self):
+        a = make_scenario_trace("driving", "tmobile", 30.0, RandomStreams(5))
+        b = make_scenario_trace("driving", "tmobile", 30.0, RandomStreams(5))
+        assert a.samples() == b.samples()
+        c = make_scenario_trace("driving", "tmobile", 30.0, RandomStreams(6))
+        assert a.samples() != c.samples()
+
+    def test_driving_harsher_than_stationary(self):
+        streams = RandomStreams(2)
+        stationary = make_scenario_trace("stationary", "tmobile", 300.0, streams)
+        driving = make_scenario_trace("driving", "tmobile", 300.0, streams)
+
+        def below(trace, level):
+            values = [v for _, v in trace.samples()]
+            return sum(v < level for v in values) / len(values)
+
+        assert below(driving, 5e6) > below(stationary, 5e6)
+
+    def test_loss_models_match_profiles(self):
+        assert isinstance(make_loss_model("driving", "tmobile"), GilbertElliottLoss)
+        model = make_loss_model("stationary", "wifi")
+        assert model.long_run_rate() <= 0.01
+
+    def test_propagation_delays_positive(self):
+        for scenario in ("stationary", "walking", "driving"):
+            for network in scenario_networks(scenario):
+                assert 0 < propagation_delay(scenario, network) < 0.1
+
+
+class TestScheduledLoss:
+    def test_rate_follows_schedule(self):
+        model = ScheduledLoss([(0.0, 0.0), (10.0, 0.5), (20.0, 0.0)])
+        assert model.rate_at(5.0) == 0.0
+        assert model.rate_at(15.0) == 0.5
+        assert model.rate_at(25.0) == 0.0
+
+    def test_drops_only_in_lossy_window(self):
+        model = ScheduledLoss([(0.0, 0.0), (10.0, 1.0)])
+        rng = RandomStreams(1).stream("x")
+        assert not model.should_drop(rng, now=5.0)
+        assert model.should_drop(rng, now=15.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ScheduledLoss([])
+        with pytest.raises(ValueError):
+            ScheduledLoss([(0.0, 2.0)])

@@ -1,0 +1,267 @@
+"""Tests for the video pipeline: encoder, packetizer, decoder, quality."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.packets import FRAME_TYPE_DELTA, FRAME_TYPE_KEY, PacketType
+from repro.simulation import RandomStreams, Simulator
+from repro.video import (
+    CameraSource,
+    DecoderModel,
+    Encoder,
+    EncoderConfig,
+    Packetizer,
+    RateDistortionModel,
+    VideoFrame,
+)
+from repro.video.decoder import AssembledFrame
+
+
+def make_encoder(**overrides):
+    config = EncoderConfig(**overrides)
+    return Encoder(config, RandomStreams(1))
+
+
+class TestRateDistortionModel:
+    def test_qp_monotone_in_bitrate(self):
+        rd = RateDistortionModel()
+        qps = [rd.qp_for_bitrate(r) for r in (5e5, 2e6, 5e6, 1e7)]
+        assert qps == sorted(qps, reverse=True)
+
+    def test_anchor_point(self):
+        rd = RateDistortionModel()
+        assert rd.qp_for_bitrate(rd.anchor_bitrate) == pytest.approx(
+            rd.qp_anchor
+        )
+
+    def test_qp_clamped(self):
+        rd = RateDistortionModel()
+        assert rd.qp_for_bitrate(1.0) == rd.qp_max
+        assert rd.qp_for_bitrate(1e12) == rd.qp_min
+
+    def test_psnr_decreases_with_qp(self):
+        rd = RateDistortionModel()
+        assert rd.psnr_for_qp(20) > rd.psnr_for_qp(40)
+
+    def test_psnr_for_bitrate_composes(self):
+        rd = RateDistortionModel()
+        assert rd.psnr_for_bitrate(1e7) > rd.psnr_for_bitrate(1e6)
+
+
+class TestEncoder:
+    def test_first_frame_is_keyframe(self):
+        encoder = make_encoder()
+        assert encoder.encode_frame(0.0).frame_type == FRAME_TYPE_KEY
+
+    def test_gop_structure(self):
+        encoder = make_encoder(gop_length=10)
+        frames = [encoder.encode_frame(i / 30) for i in range(25)]
+        keys = [i for i, f in enumerate(frames) if f.is_keyframe]
+        assert keys == [0, 11, 22]
+
+    def test_keyframe_request_honoured(self):
+        encoder = make_encoder(gop_length=1000)
+        encoder.encode_frame(0.0)
+        encoder.encode_frame(0.033)
+        encoder.request_keyframe()
+        assert encoder.encode_frame(0.066).is_keyframe
+
+    def test_keyframes_are_larger(self):
+        encoder = make_encoder(gop_length=30, size_jitter=0.0)
+        frames = [encoder.encode_frame(i / 30) for i in range(40)]
+        key = next(f for f in frames if f.is_keyframe)
+        delta = next(f for f in frames if not f.is_keyframe)
+        assert key.size_bytes > 2 * delta.size_bytes
+
+    def test_rate_controls_frame_size(self):
+        low = make_encoder(size_jitter=0.0)
+        high = make_encoder(size_jitter=0.0)
+        low.set_target_bitrate(1e6)
+        high.set_target_bitrate(8e6)
+        low.encode_frame(0.0)
+        high.encode_frame(0.0)
+        assert (
+            high.encode_frame(0.033).size_bytes
+            > 4 * low.encode_frame(0.033).size_bytes
+        )
+
+    def test_long_run_bitrate_tracks_target(self):
+        encoder = make_encoder(gop_length=60)
+        target = 4e6
+        encoder.set_target_bitrate(target)
+        fps = encoder.config.frame_rate
+        total = sum(
+            encoder.encode_frame(i / fps).size_bytes for i in range(600)
+        )
+        realized = total * 8 / (600 / fps)
+        assert realized == pytest.approx(target, rel=0.25)
+
+    def test_bitrate_clamped_to_config(self):
+        encoder = make_encoder(min_bitrate=2e5, max_bitrate=5e6)
+        encoder.set_target_bitrate(1e9)
+        assert encoder.target_bitrate == 5e6
+        encoder.set_target_bitrate(0.0)
+        assert encoder.target_bitrate == 2e5
+
+    def test_delta_frames_chain_to_previous(self):
+        encoder = make_encoder(gop_length=100)
+        frames = [encoder.encode_frame(i / 30) for i in range(5)]
+        for prev, cur in zip(frames, frames[1:]):
+            assert cur.depends_on == prev.frame_id
+
+    def test_qp_reflects_rate(self):
+        encoder = make_encoder()
+        encoder.set_target_bitrate(5e5)
+        low_rate_qp = encoder.encode_frame(0.0).qp
+        encoder.set_target_bitrate(9e6)
+        high_rate_qp = encoder.encode_frame(0.033).qp
+        assert low_rate_qp > high_rate_qp
+
+
+class TestVideoFrameValidation:
+    def test_keyframe_cannot_reference(self):
+        with pytest.raises(ValueError):
+            VideoFrame(0, 1, FRAME_TYPE_KEY, 100, 0.0, 30, 0, depends_on=5)
+
+    def test_delta_must_reference(self):
+        with pytest.raises(ValueError):
+            VideoFrame(1, 1, FRAME_TYPE_DELTA, 100, 0.0, 30, 0, depends_on=None)
+
+
+class TestPacketizer:
+    def _key_frame(self, size=5000):
+        return VideoFrame(0, 1, FRAME_TYPE_KEY, size, 0.0, 30, 0, None)
+
+    def _delta_frame(self, size=3000, frame_id=1):
+        return VideoFrame(frame_id, 1, FRAME_TYPE_DELTA, size, 0.033, 30, 0, frame_id - 1)
+
+    def test_keyframe_layout(self):
+        packets = Packetizer(1).packetize(self._key_frame())
+        assert packets[0].packet_type is PacketType.SPS
+        assert packets[1].packet_type is PacketType.PPS
+        assert all(p.packet_type is PacketType.KEYFRAME for p in packets[2:])
+
+    def test_delta_layout(self):
+        packets = Packetizer(1).packetize(self._delta_frame())
+        assert packets[0].packet_type is PacketType.PPS
+        assert all(p.packet_type is PacketType.MEDIA for p in packets[1:])
+
+    def test_markers(self):
+        packets = Packetizer(1).packetize(self._delta_frame())
+        assert packets[0].first_in_frame
+        assert packets[-1].last_in_frame
+        assert sum(p.first_in_frame for p in packets) == 1
+        assert sum(p.last_in_frame for p in packets) == 1
+
+    def test_sequence_numbers_contiguous_across_frames(self):
+        packetizer = Packetizer(1)
+        first = packetizer.packetize(self._key_frame())
+        second = packetizer.packetize(self._delta_frame())
+        seqs = [p.seq for p in first + second]
+        assert seqs == list(range(len(seqs)))
+
+    def test_media_bytes_preserved(self):
+        frame = self._delta_frame(size=10_000)
+        packets = Packetizer(1).packetize(frame)
+        media_bytes = sum(
+            p.payload_size for p in packets if p.packet_type is PacketType.MEDIA
+        )
+        assert media_bytes == frame.size_bytes
+
+    def test_respects_mtu(self):
+        packets = Packetizer(1, mtu_payload=500).packetize(self._delta_frame(4000))
+        assert all(p.payload_size <= 500 for p in packets)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_packet_count_matches_size(self, size):
+        packets = Packetizer(1).packetize(self._delta_frame(size=size))
+        media = [p for p in packets if p.packet_type is PacketType.MEDIA]
+        assert len(media) == -(-size // 1200)
+
+    def test_gop_id_propagated(self):
+        packets = Packetizer(1).packetize(self._delta_frame())
+        assert all(p.gop_id == 0 for p in packets)
+
+
+class TestCameraSource:
+    def test_tick_rate(self):
+        sim = Simulator()
+        captures = []
+        CameraSource(sim, 30.0, captures.append)
+        sim.run(until=1.0)
+        assert len(captures) == 31  # t=0 through t=1 inclusive
+
+    def test_stop(self):
+        sim = Simulator()
+        captures = []
+        source = CameraSource(sim, 30.0, captures.append)
+        sim.schedule(0.5, source.stop)
+        sim.run(until=2.0)
+        assert len(captures) == 16
+
+
+def assembled(frame_id, frame_type=FRAME_TYPE_DELTA, gop_id=0, pps=True, sps=False):
+    return AssembledFrame(
+        frame_id=frame_id,
+        ssrc=1,
+        frame_type=frame_type,
+        gop_id=gop_id,
+        size_bytes=1000,
+        capture_time=0.0,
+        has_pps=pps,
+        has_sps=sps,
+    )
+
+
+class TestDecoderModel:
+    def test_keyframe_needs_parameter_sets(self):
+        decoder = DecoderModel()
+        assert not decoder.can_decode(assembled(0, FRAME_TYPE_KEY, sps=False))
+        assert decoder.can_decode(assembled(0, FRAME_TYPE_KEY, sps=True))
+
+    def test_delta_needs_chain(self):
+        decoder = DecoderModel()
+        key = assembled(0, FRAME_TYPE_KEY, sps=True)
+        decoder.decode(key)
+        assert decoder.can_decode(assembled(1))
+        assert not decoder.can_decode(assembled(3))
+
+    def test_delta_needs_sps_of_gop(self):
+        decoder = DecoderModel()
+        decoder.decode(assembled(0, FRAME_TYPE_KEY, gop_id=0, sps=True))
+        orphan = assembled(1, gop_id=5)
+        assert not decoder.can_decode(orphan)
+
+    def test_delta_needs_pps(self):
+        decoder = DecoderModel()
+        decoder.decode(assembled(0, FRAME_TYPE_KEY, sps=True))
+        assert not decoder.can_decode(assembled(1, pps=False))
+
+    def test_decode_raises_on_undecodable(self):
+        decoder = DecoderModel()
+        with pytest.raises(ValueError):
+            decoder.decode(assembled(5))
+
+    def test_resync_at_keyframe(self):
+        decoder = DecoderModel()
+        decoder.decode(assembled(0, FRAME_TYPE_KEY, sps=True))
+        decoder.decode(assembled(1))
+        # gap: frames 2-9 lost; resync at keyframe 10 of gop 1
+        key = assembled(10, FRAME_TYPE_KEY, gop_id=1, sps=True)
+        decoder.reset_to_keyframe(key)
+        assert decoder.can_decode(assembled(11, gop_id=1))
+
+    def test_resync_requires_keyframe(self):
+        decoder = DecoderModel()
+        with pytest.raises(ValueError):
+            decoder.reset_to_keyframe(assembled(1))
+
+    def test_chain_decodes_whole_gop(self):
+        decoder = DecoderModel()
+        decoder.decode(assembled(0, FRAME_TYPE_KEY, sps=True))
+        for i in range(1, 50):
+            frame = assembled(i)
+            assert decoder.can_decode(frame)
+            decoder.decode(frame)
+        assert decoder.frames_decoded == 50

@@ -7,6 +7,7 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.core.session import CallResult
+from repro.metrics.recovery import compute_recovery
 
 
 def result_to_dict(result: CallResult) -> Dict[str, Any]:
@@ -68,6 +69,38 @@ def result_to_dict(result: CallResult) -> Dict[str, Any]:
         "events": {
             "keyframe_requests": metrics.keyframe_requests,
             "feedback": metrics.feedback_events,
+            "path_events": [
+                {"time": time, "path_id": path_id, "event": event}
+                for time, path_id, event in metrics.path_events
+            ],
+        },
+        "faults": {
+            "injected": [
+                {
+                    "kind": fault.kind,
+                    "path_id": fault.path_id,
+                    "start": fault.start,
+                    "end": fault.end,
+                }
+                for fault in metrics.fault_events
+            ],
+            "recovery": [
+                {
+                    "kind": r.fault.kind,
+                    "path_id": r.fault.path_id,
+                    "start": r.fault.start,
+                    "end": r.fault.end,
+                    "reenable_time": r.reenable_time,
+                    "rate_recovery_time": r.rate_recovery_time,
+                    "qoe_recovery_time": r.qoe_recovery_time,
+                    "recovered": r.recovered,
+                }
+                for r in compute_recovery(
+                    metrics,
+                    result.config.duration,
+                    frame_rate=result.config.frame_rate,
+                )
+            ],
         },
     }
 

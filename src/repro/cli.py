@@ -5,6 +5,7 @@ Usage::
     python -m repro run --system converge --scenario driving --duration 30
     python -m repro compare --scenario walking --duration 30
     python -m repro experiment fig12 --duration 60
+    python -m repro chaos --chaos rtcp-blackout --scenario driving
     python -m repro list
 
 Every command is deterministic given ``--seed``.
@@ -29,7 +30,9 @@ from repro.experiments import (
     fig16_17_stationary,
     traces_appendix,
 )
-from repro.experiments.common import run_system, scenario_paths
+from repro.experiments.common import run_chaos, run_system, scenario_paths
+from repro.faults.scenarios import chaos_scenario_names
+from repro.metrics.recovery import compute_recovery
 from repro.metrics.report import format_table
 from repro.traces.scenarios import scenario_networks
 
@@ -92,6 +95,34 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--duration", type=float, default=30.0)
     compare_parser.add_argument("--streams", type=int, default=1)
     compare_parser.add_argument("--seed", type=int, default=1)
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="run one call under an injected fault plan"
+    )
+    chaos_parser.add_argument(
+        "--system",
+        choices=[s.value for s in SystemKind],
+        default=SystemKind.CONVERGE.value,
+    )
+    chaos_parser.add_argument(
+        "--scenario", choices=SCENARIOS, default="driving"
+    )
+    chaos_parser.add_argument(
+        "--chaos",
+        choices=chaos_scenario_names(),
+        default="rtcp-blackout",
+        help="which canned fault plan to inject",
+    )
+    chaos_parser.add_argument("--duration", type=float, default=30.0)
+    chaos_parser.add_argument("--streams", type=int, default=1)
+    chaos_parser.add_argument("--seed", type=int, default=1)
+    chaos_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full result (summary + series + faults) as JSON",
+    )
+    chaos_parser.add_argument(
+        "--plot", action="store_true", help="render terminal charts"
+    )
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -160,6 +191,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    result = run_chaos(
+        SystemKind(args.system),
+        args.scenario,
+        args.chaos,
+        duration=args.duration,
+        num_streams=args.streams,
+        seed=args.seed,
+    )
+    summary = result.summary
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["system", result.label],
+                ["scenario", args.scenario],
+                ["chaos plan", args.chaos],
+                ["faults injected", len(result.metrics.fault_events)],
+                ["average FPS", summary.average_fps],
+                ["throughput (Mbps)", summary.throughput_bps / 1e6],
+                ["E2E mean (ms)", 1000 * summary.e2e_mean],
+                ["freeze total (s)", summary.freeze.total_duration],
+                ["frame drops", summary.frame_drops],
+            ],
+        )
+    )
+    recoveries = compute_recovery(
+        result.metrics, args.duration, frame_rate=result.config.frame_rate
+    )
+    if recoveries:
+        print()
+
+        def fmt(value):
+            return f"{value:.2f}" if value is not None else "never"
+
+        print(
+            format_table(
+                ["fault", "path", "window (s)", "re-enable (s)",
+                 "rate rec (s)", "QoE rec (s)"],
+                [
+                    [
+                        r.fault.kind,
+                        r.fault.path_id,
+                        f"{r.fault.start:.1f}-{r.fault.end:.1f}",
+                        fmt(r.reenable_time),
+                        fmt(r.rate_recovery_time),
+                        fmt(r.qoe_recovery_time),
+                    ]
+                    for r in recoveries
+                ],
+            )
+        )
+    if args.plot:
+        rate = result.metrics.receive_rate_series
+        if len(rate):
+            print()
+            print(
+                render_series(
+                    list(zip(rate.times, [v / 1e6 for v in rate.values])),
+                    title="received rate (Mbps)",
+                )
+            )
+        fps = result.metrics.fps_series(args.duration)
+        print()
+        print(f"FPS      {sparkline(fps.values, width=72)}")
+    if args.json:
+        target = save_result_json(result, args.json)
+        print(f"\nwrote {target}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     paths = scenario_paths(args.scenario, args.duration, args.seed)
     rows = []
@@ -206,6 +308,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         f"{s} ({'+'.join(scenario_networks(s))})" for s in SCENARIOS
     ))
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("chaos plans:", ", ".join(chaos_scenario_names()))
     return 0
 
 
@@ -213,6 +316,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "chaos": _cmd_chaos,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "list": _cmd_list,

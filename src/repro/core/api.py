@@ -6,6 +6,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.config import CallConfig, FecMode, SystemKind
 from repro.core.session import CallResult, ConferenceCall
+from repro.faults.plan import FaultPlan
 from repro.net.path import PathConfig
 from repro.scheduling import (
     ConnectionMigrationScheduler,
@@ -83,12 +84,17 @@ def run_call(
     config: CallConfig,
     path_configs: Sequence[PathConfig],
     scheduler: Optional[Scheduler] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> CallResult:
-    """Run one simulated conference call and return its QoE result."""
+    """Run one simulated conference call and return its QoE result.
+
+    ``fault_plan`` optionally injects a :class:`repro.faults.FaultPlan`
+    of network/feedback faults into the call's paths.
+    """
     paths: List[PathConfig] = list(path_configs)
     if not paths:
         raise ValueError("a call needs at least one path")
     if scheduler is None:
         scheduler = build_scheduler(config)
-    call = ConferenceCall(config, paths, scheduler)
+    call = ConferenceCall(config, paths, scheduler, fault_plan=fault_plan)
     return call.run()

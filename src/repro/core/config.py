@@ -31,6 +31,64 @@ class FecMode(Enum):
 
 
 @dataclass
+class WatchdogConfig:
+    """Feedback-silence watchdog: sender-side lossy-feedback hardening.
+
+    The control loop rides on RTCP; when a path's feedback goes silent
+    the sender must degrade gracefully instead of trusting (or
+    wedging on) stale state.  Stages: after ``degrade_timeout`` of
+    silence the path's rate is frozen at its last-known-good value and
+    decayed multiplicatively, and the path loses priority-packet
+    eligibility; after ``silence_timeout`` it is disabled outright and
+    re-probed with exponential backoff (cap + jitter).
+    """
+
+    # Silence before the path is degraded (rate frozen + decaying,
+    # priority packets diverted).  Transport feedback normally arrives
+    # every 50 ms, so this tolerates several lost reports.
+    degrade_timeout: float = 0.4
+    # Silence before the path is disabled entirely.
+    silence_timeout: float = 1.5
+    # Multiplicative decay of the frozen last-known-good rate while
+    # silence persists: rate *= decay_factor per decay_interval.
+    rate_decay_factor: float = 0.6
+    rate_decay_interval: float = 0.5
+    # Probe cadence for disabled paths: exponential backoff with cap
+    # and jitter, replacing the old fixed 200 ms cadence so a dead
+    # path is not hammered forever at full rate.
+    probe_interval_initial: float = 0.2
+    probe_interval_max: float = 1.0
+    probe_backoff_factor: float = 1.5
+    probe_jitter_fraction: float = 0.25
+    # Last-resort blind re-enable backoff (was hardcoded in the path
+    # manager): consecutive blind re-enables back off exponentially.
+    reenable_backoff_initial: float = 10.0
+    reenable_backoff_max: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.degrade_timeout <= 0:
+            raise ValueError("degrade timeout must be positive")
+        if self.silence_timeout <= self.degrade_timeout:
+            raise ValueError("silence timeout must exceed degrade timeout")
+        if not 0.0 < self.rate_decay_factor <= 1.0:
+            raise ValueError("rate decay factor must be in (0, 1]")
+        if self.rate_decay_interval <= 0:
+            raise ValueError("rate decay interval must be positive")
+        if self.probe_interval_initial <= 0:
+            raise ValueError("initial probe interval must be positive")
+        if self.probe_interval_max < self.probe_interval_initial:
+            raise ValueError("probe interval cap must be >= initial")
+        if self.probe_backoff_factor < 1.0:
+            raise ValueError("probe backoff factor must be >= 1")
+        if not 0.0 <= self.probe_jitter_fraction < 1.0:
+            raise ValueError("probe jitter fraction must be in [0, 1)")
+        if self.reenable_backoff_initial <= 0:
+            raise ValueError("re-enable backoff must be positive")
+        if self.reenable_backoff_max < self.reenable_backoff_initial:
+            raise ValueError("re-enable backoff cap must be >= initial")
+
+
+@dataclass
 class CallConfig:
     """Everything needed to run one simulated conference call."""
 
@@ -50,6 +108,7 @@ class CallConfig:
     receiver: ReceiverConfig = field(default_factory=ReceiverConfig)
     encoder_template: EncoderConfig = field(default_factory=EncoderConfig)
     gcc: GccConfig = field(default_factory=GccConfig)
+    watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
     # FEC grouping: at most this many media packets per XOR group.
     fec_group_size: int = 10
     # Fraction of the (FEC-discounted) transport budget the encoder

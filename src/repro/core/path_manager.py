@@ -9,7 +9,16 @@ The path manager owns, per path:
 - the Eq. 2 feedback adjustment ``alpha`` accumulated from QoE
   feedback, with slow decay so a penalized path can earn traffic back,
 - the disable logic (budget reaches zero) and the Eq. 3 re-enable
-  check ``(rtt_fast - rtt_i)/2 <= FCD`` driven by probe duplicates.
+  check ``(rtt_fast - rtt_i)/2 <= FCD`` driven by probe duplicates,
+- the feedback-silence watchdog: the whole control loop rides on RTCP,
+  so when a path's feedback goes silent the sender must not trust (or
+  wedge on) stale state.  Silence past ``degrade_timeout`` freezes the
+  path's rate at its last-known-good value and decays it
+  multiplicatively while demoting the path from priority-packet
+  eligibility; past ``silence_timeout`` the path is disabled and
+  re-probed with exponential backoff (cap + jitter).  If silence would
+  take down the *last* enabled path, the sender falls back to
+  last-known-good single-path operation instead of wedging.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cc.gcc import GccConfig, GoogleCongestionControl
+from repro.core.config import WatchdogConfig
+from repro.metrics.collector import MetricsCollector
 from repro.net.multipath import PathSet
 from repro.rtp.packets import RtpPacket
 from repro.rtp.rtcp import QoeFeedback, ReceiverReport, TransportFeedback
@@ -34,17 +45,6 @@ _LOSS_REORDER_MARGIN = 3
 _ADJUST_DECAY_INTERVAL = 1.0
 _ADJUST_DECAY_FACTOR = 0.9
 _ADJUST_LIMIT = 200
-_PROBE_INTERVAL = 0.2
-# Last-resort re-enable when probe evidence never materializes; the
-# normal path back is Eq. 3 (probe RTT recovering toward the fast
-# path's).  Re-enabling blindly mid-fade feeds frames to a dead link,
-# so consecutive blind re-enables back off exponentially.
-_PROBE_FALLBACK_REENABLE = 10.0
-_PROBE_FALLBACK_MAX = 60.0
-# A path that has carried packets but produced no feedback for this
-# long is dead (total blackout produces no "late packets" for the QoE
-# feedback to report — the sender must notice the silence itself).
-_FEEDBACK_SILENCE_TIMEOUT = 1.5
 _BUDGET_HEADROOM = 1.25
 # How strongly the Eq. 1 media split is discounted by per-path loss.
 _LOSS_AVERSION = 4.0
@@ -69,12 +69,27 @@ class _PathState:
     last_feedback_time: float = -1.0
     last_probe_time: float = -1.0
     # Exponential backoff for blind re-enables of a silent path.
-    reenable_backoff: float = _PROBE_FALLBACK_REENABLE
+    reenable_backoff: float = 10.0
     last_send_time: float = -1.0
     # Media sends only (padding probes excluded): paths that carry no
     # media are not capacity-probed, or an unused path's inflated
     # estimate would leak into the encoder budget.
     last_media_send_time: float = -1.0
+    # -- feedback-silence watchdog state ------------------------------
+    # Degraded: feedback silent past degrade_timeout; the rate below is
+    # the last-known-good GCC target frozen at degrade time, decayed
+    # multiplicatively while silence persists.
+    degraded: bool = False
+    frozen_rate: float = 0.0
+    degraded_at: float = -1.0
+    # Failsafe: this is the last enabled path and its feedback is
+    # silent — the call runs on it at decayed last-known-good rate
+    # rather than wedging with zero paths.
+    failsafe: bool = False
+    # Probe backoff (disabled paths): current interval and the jittered
+    # wait actually applied before the next probe.
+    probe_interval: float = 0.2
+    probe_wait: float = 0.2
 
 
 class PathManager:
@@ -85,17 +100,29 @@ class PathManager:
         sim: Simulator,
         paths: PathSet,
         gcc_config: GccConfig | None = None,
+        watchdog: WatchdogConfig | None = None,
+        metrics: MetricsCollector | None = None,
     ) -> None:
         self.sim = sim
         self.paths = paths
+        self.watchdog = watchdog or WatchdogConfig()
+        self.metrics = metrics
         self._states: Dict[int, _PathState] = {
-            pid: _PathState(gcc=GoogleCongestionControl(pid, gcc_config))
+            pid: _PathState(
+                gcc=GoogleCongestionControl(pid, gcc_config),
+                reenable_backoff=self.watchdog.reenable_backoff_initial,
+                probe_interval=self.watchdog.probe_interval_initial,
+                probe_wait=self.watchdog.probe_interval_initial,
+            )
             for pid in paths.path_ids
         }
         self.last_fcd: float = 0.0
         self._decay_process = PeriodicProcess(
             sim, _ADJUST_DECAY_INTERVAL, self._decay_adjustments
         )
+        # Jitter draws for the probe backoff come from a named stream
+        # so adding the watchdog does not perturb other consumers.
+        self._probe_rng = sim.streams.stream("path-manager-probe-jitter")
         # The most recent packet bound per path, used as probe material.
         self._last_bound: Optional[RtpPacket] = None
 
@@ -136,7 +163,7 @@ class PathManager:
         if state is None:
             return
         now = self.sim.now
-        state.last_feedback_time = now
+        self._mark_feedback(state, message.path_id, now)
         acked: List[Tuple[float, float, int]] = []
         max_tseq = state.highest_acked_tseq
         for tseq, arrival in message.packets:
@@ -166,8 +193,22 @@ class PathManager:
         state = self._states.get(message.path_id)
         if state is None:
             return
-        state.last_feedback_time = self.sim.now
+        self._mark_feedback(state, message.path_id, self.sim.now)
         state.gcc.on_receiver_report(message.fraction_lost, self.sim.now)
+
+    def _mark_feedback(
+        self, state: _PathState, path_id: int, now: float
+    ) -> None:
+        """Feedback arrived: the path is alive again."""
+        state.last_feedback_time = now
+        state.probe_interval = self.watchdog.probe_interval_initial
+        state.probe_wait = self.watchdog.probe_interval_initial
+        state.failsafe = False
+        if state.degraded:
+            state.degraded = False
+            state.frozen_rate = 0.0
+            state.degraded_at = -1.0
+            self._record_event(now, path_id, "restored")
 
     def on_qoe_feedback(self, message: QoeFeedback) -> None:
         """Apply Eq. 2: shift the path's packet budget by ``alpha``.
@@ -186,12 +227,74 @@ class PathManager:
             state.adjust = max(state.adjust + message.alpha, -_ADJUST_LIMIT)
         self.last_fcd = message.fcd
 
+    # -- feedback-silence watchdog ---------------------------------------------
+
+    def _silence_age(self, state: _PathState, now: float) -> float:
+        """Seconds of feedback silence while sends were outstanding.
+
+        Returns 0 when the path is not silently failing (no sends
+        newer than the last feedback, or no sends at all).
+        """
+        if state.last_send_time < 0:
+            return 0.0
+        if state.last_feedback_time < 0:
+            # Never any feedback: silence measured from first send is
+            # handled by the bootstrap-dead check, not the watchdog.
+            return 0.0
+        if state.last_send_time <= state.last_feedback_time:
+            return 0.0
+        return now - state.last_feedback_time
+
+    def _update_watchdog(self, now: float) -> None:
+        """Degrade enabled paths whose feedback has gone silent."""
+        for path_id, state in self._states.items():
+            if not state.enabled or state.degraded:
+                continue
+            if self._silence_age(state, now) > self.watchdog.degrade_timeout:
+                state.degraded = True
+                state.frozen_rate = state.gcc.target_rate
+                state.degraded_at = now
+                self._record_event(now, path_id, "degraded")
+
+    def _effective_rate(self, state: _PathState, now: float) -> float:
+        """GCC target rate, frozen and decayed while feedback is silent."""
+        if not state.degraded:
+            return state.gcc.target_rate
+        silent_for = max(now - state.degraded_at, 0.0)
+        periods = silent_for / self.watchdog.rate_decay_interval
+        decayed = state.frozen_rate * (
+            self.watchdog.rate_decay_factor ** periods
+        )
+        return max(decayed, state.gcc.config.min_rate)
+
+    def effective_rate(self, path_id: int) -> float:
+        """The rate the rest of the sender should trust for ``path_id``."""
+        return self._effective_rate(self._states[path_id], self.sim.now)
+
+    def pacing_rate(self, path_id: int) -> float:
+        """Alias of :meth:`effective_rate` for the pacer wiring."""
+        return self.effective_rate(path_id)
+
+    def is_degraded(self, path_id: int) -> bool:
+        return self._states[path_id].degraded
+
+    def feedback_starved(self) -> bool:
+        """True when no enabled path has live (non-silent) feedback."""
+        return all(
+            s.degraded for s in self._states.values() if s.enabled
+        ) and any(s.enabled for s in self._states.values())
+
+    def _record_event(self, now: float, path_id: int, event: str) -> None:
+        if self.metrics is not None:
+            self.metrics.record_path_event(now, path_id, event)
+
     # -- budgets / snapshots ------------------------------------------------------
 
     def snapshots(
         self, num_media_packets: int, avg_packet_size: int, now: float
     ) -> List[PathSnapshot]:
         """Per-path scheduling snapshots for one round (one frame)."""
+        self._update_watchdog(now)
         self._update_enablement(now)
         states = self._states
         # §4.3: "if there is a path with a higher loss rate, we reduce
@@ -200,14 +303,14 @@ class PathManager:
         # instead of being FEC-protected harder on lossy ones.
         def weight(state: _PathState) -> float:
             penalty = max(1.0 - _LOSS_AVERSION * state.gcc.loss_estimate, 0.2)
-            return state.gcc.target_rate * penalty
+            return self._effective_rate(state, now) * penalty
 
         total_rate = sum(
             weight(s) for s in states.values() if s.enabled
         )
         snapshots: List[PathSnapshot] = []
         for path_id, state in states.items():
-            rate = state.gcc.target_rate
+            rate = self._effective_rate(state, now)
             interval = 1.0 / 30.0  # one scheduling round per frame tick
             max_packets = max(
                 int(
@@ -248,23 +351,22 @@ class PathManager:
                     max_packets=max_packets,
                     enabled=state.enabled,
                     last_feedback_age=age,
+                    degraded=state.degraded,
                 )
             )
         return snapshots
 
     def _update_enablement(self, now: float) -> None:
+        wd = self.watchdog
         fast_srtt = min(
             (s.gcc.srtt for s in self._states.values() if s.enabled),
             default=0.1,
         )
-        for state in self._states.values():
+        enabled_count = sum(1 for s in self._states.values() if s.enabled)
+        for path_id, state in self._states.items():
             if state.enabled:
                 silent = (
-                    state.last_send_time >= 0
-                    and state.last_feedback_time >= 0
-                    and now - state.last_feedback_time
-                    > _FEEDBACK_SILENCE_TIMEOUT
-                    and state.last_send_time > state.last_feedback_time
+                    self._silence_age(state, now) > wd.silence_timeout
                 )
                 bootstrap_dead = (
                     state.last_feedback_time < 0
@@ -272,19 +374,36 @@ class PathManager:
                     and now - state.last_send_time < 0.5
                     and now > 3.0
                 )
-                if (
+                if not (
                     state.zero_budget_rounds >= 5
                     or state.adjust <= -_ADJUST_LIMIT * 0.9
                     or silent
                     or bootstrap_dead
                 ):
-                    state.enabled = False
-                    state.disabled_at = now
-                    state.zero_budget_rounds = 0
-                    if silent or bootstrap_dead:
-                        state.reenable_backoff = min(
-                            state.reenable_backoff * 2, _PROBE_FALLBACK_MAX
-                        )
+                    continue
+                if (silent or bootstrap_dead) and enabled_count <= 1:
+                    # Total feedback starvation: this is the last
+                    # enabled path.  Disabling it would wedge the call,
+                    # so run on it at decayed last-known-good rate and
+                    # keep the disable backoff armed for when another
+                    # path returns.
+                    if not state.failsafe:
+                        state.failsafe = True
+                        if not state.degraded:
+                            state.degraded = True
+                            state.frozen_rate = state.gcc.target_rate
+                            state.degraded_at = now
+                        self._record_event(now, path_id, "failsafe")
+                    continue
+                state.enabled = False
+                state.disabled_at = now
+                state.zero_budget_rounds = 0
+                enabled_count -= 1
+                self._record_event(now, path_id, "disabled")
+                if silent or bootstrap_dead:
+                    state.reenable_backoff = min(
+                        state.reenable_backoff * 2, wd.reenable_backoff_max
+                    )
                 continue
             # Eq. 3 re-enable: the disabled path's extra one-way delay
             # must fit inside the tolerated frame construction delay.
@@ -300,8 +419,10 @@ class PathManager:
             if recovered or timed_out:
                 state.enabled = True
                 state.adjust = 0.0
+                enabled_count += 1
+                self._record_event(now, path_id, "enabled")
                 if recovered:
-                    state.reenable_backoff = _PROBE_FALLBACK_REENABLE
+                    state.reenable_backoff = wd.reenable_backoff_initial
 
     def _decay_adjustments(self) -> None:
         for state in self._states.values():
@@ -317,13 +438,19 @@ class PathManager:
         A path that has never produced feedback (e.g. the unused second
         network of a single-path call) still holds its initial GCC rate;
         counting it would make the encoder overshoot the real capacity,
-        so only paths with recent feedback contribute.
+        so only paths with recent feedback contribute — a degraded
+        (feedback-silent) path contributes its decayed last-known-good
+        rate rather than dropping off a cliff or inflating the budget.
         """
         now = self.sim.now
         total = 0.0
         any_live = False
         for state in self._states.values():
             if not state.enabled:
+                continue
+            if state.degraded:
+                any_live = True
+                total += self._effective_rate(state, now)
                 continue
             live = (
                 state.last_feedback_time >= 0
@@ -355,6 +482,10 @@ class PathManager:
         any_live = False
         for state in self._states.values():
             if not state.enabled:
+                continue
+            if state.degraded:
+                any_live = True
+                total += self._effective_rate(state, now)
                 continue
             live = (
                 state.last_feedback_time >= 0
@@ -422,13 +553,34 @@ class PathManager:
         )
 
     def should_probe(self, path_id: int, now: float) -> bool:
+        """Whether to send a probe duplicate on a disabled path now.
+
+        Probe cadence backs off exponentially (with jitter, so probes
+        across paths do not synchronize) while the path stays silent;
+        any feedback arrival resets the cadence via
+        :meth:`_mark_feedback`.
+        """
         state = self._states[path_id]
         if state.enabled:
             return False
-        if now - state.last_probe_time >= _PROBE_INTERVAL:
-            state.last_probe_time = now
-            return True
-        return False
+        if (
+            state.last_probe_time >= 0
+            and now - state.last_probe_time < state.probe_wait
+        ):
+            return False
+        state.last_probe_time = now
+        wd = self.watchdog
+        jitter = 1.0 + self._probe_rng.uniform(
+            -wd.probe_jitter_fraction, wd.probe_jitter_fraction
+        )
+        state.probe_wait = state.probe_interval * jitter
+        # Back off for the round after this one: the first retry keeps
+        # the initial cadence, then each silent round stretches it.
+        state.probe_interval = min(
+            state.probe_interval * wd.probe_backoff_factor,
+            wd.probe_interval_max,
+        )
+        return True
 
     def adjustment(self, path_id: int) -> float:
         return self._states[path_id].adjust

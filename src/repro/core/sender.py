@@ -89,7 +89,9 @@ class SenderSession:
         self.scheduler = scheduler
         self.metrics = metrics or MetricsCollector()
         self._send_rtcp_to_receiver = send_rtcp_to_receiver
-        self.path_manager = PathManager(sim, paths, config.gcc)
+        self.path_manager = PathManager(
+            sim, paths, config.gcc, config.watchdog, self.metrics
+        )
         self.pacer = Pacer(sim, self._send_on_path)
         self._fec_seq = 1_000_000  # FEC/RTX use their own sequence space
         self._rtx_seq = 2_000_000
@@ -342,7 +344,7 @@ class SenderSession:
         if isinstance(message, TransportFeedback):
             self.path_manager.on_transport_feedback(message)
             self.pacer.set_path_rate(
-                message.path_id, self.path_manager.target_rate(message.path_id)
+                message.path_id, self.path_manager.pacing_rate(message.path_id)
             )
         elif isinstance(message, ReceiverReport):
             self.path_manager.on_receiver_report(message)
@@ -426,7 +428,10 @@ class SenderSession:
             stream.encoder.set_target_bitrate(per_stream)
         self.metrics.record_target_rate(self.sim.now, aggregate)
         for path_id in self.paths.path_ids:
-            rate = self.path_manager.target_rate(path_id)
+            # Pace at the watchdog-effective rate: a feedback-silent
+            # path must not keep draining packets at its stale GCC
+            # target into what may be a dead link.
+            rate = self.path_manager.pacing_rate(path_id)
             self.pacer.set_path_rate(path_id, rate)
             self.metrics.record_path_rate(self.sim.now, path_id, rate)
 
@@ -467,6 +472,10 @@ class SenderSession:
         """Send a padding burst on each healthy path (PROBE_BWE)."""
         now = self.sim.now
         for path_id in self.path_manager.enabled_path_ids():
+            if self.path_manager.is_degraded(path_id):
+                # Feedback-silent: a probe burst would measure nothing
+                # (no feedback comes back) and only loads the path.
+                continue
             if not self.path_manager.carries_media(path_id, now):
                 # Never probe an idle path: its inflated estimate would
                 # leak into the encoder budget without any media there

@@ -7,6 +7,8 @@ from typing import List, Optional
 
 from repro.core.config import CallConfig
 from repro.core.sender import SenderSession
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.qoe import QoeSummary, summarize
 from repro.net.multipath import PathSet
@@ -39,11 +41,18 @@ class ConferenceCall:
         config: CallConfig,
         path_configs: List[PathConfig],
         scheduler: Scheduler,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config
         self.sim = Simulator(config.seed)
         self.paths = PathSet(self.sim, path_configs)
         self.metrics = MetricsCollector()
+        self.fault_injector: Optional[FaultInjector] = None
+        if fault_plan is not None and len(fault_plan):
+            self.fault_injector = FaultInjector(
+                self.sim, self.paths, fault_plan, self.metrics
+            )
+            self.fault_injector.arm()
         ssrcs = [index + 1 for index in range(config.num_streams)]
         self.receiver = ReceiverSession(
             self.sim,

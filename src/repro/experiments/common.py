@@ -7,6 +7,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.api import build_call_config, run_call
 from repro.core.config import SystemKind
 from repro.core.session import CallResult
+from repro.faults.plan import FaultPlan
+from repro.faults.scenarios import build_chaos_plan
 from repro.net.loss import BernoulliLoss, LossModel, NoLoss
 from repro.net.path import PathConfig
 from repro.net.trace import BandwidthTrace
@@ -83,6 +85,7 @@ def run_system(
     seed: int = 1,
     single_path_id: int = 0,
     label: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
     **config_kwargs,
 ) -> CallResult:
     """Run one system on the given paths and return its result."""
@@ -95,7 +98,35 @@ def run_system(
         label=label,
         **config_kwargs,
     )
-    return run_call(config, path_configs)
+    return run_call(config, path_configs, fault_plan=fault_plan)
+
+
+def run_chaos(
+    system: SystemKind,
+    scenario: str,
+    chaos: str,
+    duration: float = DEFAULT_DURATION,
+    num_streams: int = 1,
+    seed: int = 1,
+    networks: Optional[Sequence[str]] = None,
+    **config_kwargs,
+) -> CallResult:
+    """Run one system through an Appendix-D scenario under a canned
+    chaos plan (see :mod:`repro.faults.scenarios`)."""
+    paths = scenario_paths(scenario, duration, seed, networks)
+    plan = build_chaos_plan(
+        chaos, duration, seed=seed, num_paths=len(paths)
+    )
+    return run_system(
+        system,
+        paths,
+        duration,
+        num_streams=num_streams,
+        seed=seed,
+        label=f"{system.value}+{chaos}",
+        fault_plan=plan,
+        **config_kwargs,
+    )
 
 
 def run_all_systems(

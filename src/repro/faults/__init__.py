@@ -1,0 +1,19 @@
+"""Fault injection: declarative fault plans applied to running calls."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.scenarios import (
+    CHAOS_SCENARIOS,
+    build_chaos_plan,
+    chaos_scenario_names,
+)
+
+__all__ = [
+    "CHAOS_SCENARIOS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "build_chaos_plan",
+    "chaos_scenario_names",
+]

@@ -1,0 +1,97 @@
+"""Applies a :class:`FaultPlan` to the live paths of a running call.
+
+The injector schedules one apply/clear callback pair per fault event
+against the simulator clock and flips the matching runtime override on
+the target :class:`repro.net.path.Path`.  Every fault window is also
+recorded in the metrics collector so the recovery-accounting layer
+(:mod:`repro.metrics.recovery`) can measure how quickly the control
+loop restores rate and QoE after each fault clears.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.metrics.collector import MetricsCollector
+from repro.net.loss import BernoulliLoss
+from repro.net.multipath import PathSet
+from repro.simulation.simulator import Simulator
+
+
+class FaultInjector:
+    """Schedules and applies the fault windows of one plan."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: PathSet,
+        plan: FaultPlan,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self.sim = sim
+        self.paths = paths
+        self.plan = plan
+        self.metrics = metrics
+        self._active: Set[FaultEvent] = set()
+        self._armed = False
+        for event in plan:
+            if event.path_id not in paths:
+                raise ValueError(
+                    f"fault targets unknown path {event.path_id}"
+                )
+
+    def arm(self) -> None:
+        """Schedule every fault window; idempotent."""
+        if self._armed:
+            return
+        self._armed = True
+        for event in self.plan:
+            if self.metrics is not None:
+                self.metrics.record_fault(
+                    event.kind.value, event.path_id, event.start, event.end
+                )
+            self.sim.schedule_at(event.start, lambda e=event: self._apply(e))
+            self.sim.schedule_at(event.end, lambda e=event: self._clear(e))
+
+    def active_faults(self) -> List[FaultEvent]:
+        """Fault windows currently in force, ordered by start time."""
+        return sorted(self._active, key=lambda e: (e.start, e.path_id))
+
+    # -- apply / clear -------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        path = self.paths.get(event.path_id)
+        self._active.add(event)
+        kind = event.kind
+        if kind is FaultKind.BLACKOUT:
+            path.set_capacity_cap(0.0)
+        elif kind is FaultKind.CAPACITY_CAP:
+            path.set_capacity_cap(event.magnitude)
+        elif kind is FaultKind.LOSS_STORM:
+            path.set_loss_override(BernoulliLoss(event.magnitude))
+        elif kind is FaultKind.DELAY_SPIKE:
+            path.set_extra_delay(event.magnitude)
+        elif kind is FaultKind.QUEUE_FLAP:
+            path.set_queue_capacity_override(int(event.magnitude))
+        elif kind is FaultKind.FEEDBACK_BLACKOUT:
+            path.set_feedback_outage(True)
+        elif kind is FaultKind.FEEDBACK_LOSS:
+            path.set_feedback_loss(BernoulliLoss(event.magnitude))
+
+    def _clear(self, event: FaultEvent) -> None:
+        path = self.paths.get(event.path_id)
+        self._active.discard(event)
+        kind = event.kind
+        if kind in (FaultKind.BLACKOUT, FaultKind.CAPACITY_CAP):
+            path.set_capacity_cap(None)
+        elif kind is FaultKind.LOSS_STORM:
+            path.set_loss_override(None)
+        elif kind is FaultKind.DELAY_SPIKE:
+            path.set_extra_delay(0.0)
+        elif kind is FaultKind.QUEUE_FLAP:
+            path.set_queue_capacity_override(None)
+        elif kind is FaultKind.FEEDBACK_BLACKOUT:
+            path.set_feedback_outage(False)
+        elif kind is FaultKind.FEEDBACK_LOSS:
+            path.set_feedback_loss(None)

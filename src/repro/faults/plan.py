@@ -1,0 +1,147 @@
+"""Declarative fault plans: what breaks, where, when, and how hard.
+
+A :class:`FaultPlan` is a validated list of :class:`FaultEvent`
+entries, each describing one fault window against one path of a
+running call.  Plans are plain data — serializable to/from dicts — so
+chaos scenarios can be shipped in JSON, diffed, and replayed
+deterministically; the :class:`repro.faults.injector.FaultInjector`
+turns a plan into scheduled simulator events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List
+
+
+class FaultKind(Enum):
+    """The fault classes the injector knows how to apply."""
+
+    # Forward (media) direction.
+    BLACKOUT = "blackout"  # capacity -> 0 for the window
+    CAPACITY_CAP = "capacity-cap"  # capacity clamped to `magnitude` bps
+    LOSS_STORM = "loss-storm"  # Bernoulli loss at `magnitude`
+    DELAY_SPIKE = "delay-spike"  # +`magnitude` seconds one-way (both dirs)
+    QUEUE_FLAP = "queue-flap"  # bottleneck queue shrunk to `magnitude` bytes
+    # Reverse (RTCP feedback) direction.
+    FEEDBACK_BLACKOUT = "feedback-blackout"  # all feedback dropped
+    FEEDBACK_LOSS = "feedback-loss"  # feedback Bernoulli loss at `magnitude`
+
+
+# Kinds whose ``magnitude`` is a probability in [0, 1].
+_RATE_KINDS = (FaultKind.LOSS_STORM, FaultKind.FEEDBACK_LOSS)
+# Kinds whose ``magnitude`` must be a positive quantity.
+_POSITIVE_KINDS = (FaultKind.DELAY_SPIKE, FaultKind.QUEUE_FLAP)
+# Kinds that ignore ``magnitude`` entirely.
+_UNIT_KINDS = (FaultKind.BLACKOUT, FaultKind.FEEDBACK_BLACKOUT)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window: ``kind`` hits ``path_id`` during [start, end)."""
+
+    kind: FaultKind
+    path_id: int
+    start: float
+    duration: float
+    # Kind-specific magnitude: loss probability for the *-loss kinds,
+    # bps for CAPACITY_CAP, seconds for DELAY_SPIKE, bytes for
+    # QUEUE_FLAP.  Unused for the blackout kinds.
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.path_id < 0:
+            raise ValueError(f"path_id must be non-negative: {self.path_id}")
+        if self.start < 0:
+            raise ValueError(f"fault start must be non-negative: {self.start}")
+        if self.duration <= 0:
+            raise ValueError(f"fault duration must be positive: {self.duration}")
+        if self.kind in _RATE_KINDS and not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError(
+                f"{self.kind.value} magnitude must be in [0, 1]: {self.magnitude}"
+            )
+        if self.kind in _POSITIVE_KINDS and self.magnitude <= 0:
+            raise ValueError(
+                f"{self.kind.value} magnitude must be positive: {self.magnitude}"
+            )
+        if self.kind is FaultKind.CAPACITY_CAP and self.magnitude < 0:
+            raise ValueError(
+                f"capacity cap must be non-negative: {self.magnitude}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "path_id": self.path_id,
+            "start": self.start,
+            "duration": self.duration,
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            kind=FaultKind(data["kind"]),
+            path_id=int(data["path_id"]),
+            start=float(data["start"]),
+            duration=float(data["duration"]),
+            magnitude=float(data.get("magnitude", 0.0)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A validated schedule of fault events for one call."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(
+            self.events, key=lambda e: (e.start, e.path_id, e.kind.value)
+        )
+        self._check_overlaps()
+
+    def _check_overlaps(self) -> None:
+        # Two windows of the same kind on the same path must not
+        # overlap: the injector's clear would otherwise revert the
+        # later fault's override mid-window.
+        last_end: Dict[tuple, float] = {}
+        for event in self.events:
+            key = (event.kind, event.path_id)
+            if event.start < last_end.get(key, -1.0):
+                raise ValueError(
+                    f"overlapping {event.kind.value} faults on path "
+                    f"{event.path_id} at t={event.start}"
+                )
+            last_end[key] = event.end
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def max_end(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def for_path(self, path_id: int) -> List[FaultEvent]:
+        return [e for e in self.events if e.path_id == path_id]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            events=[FaultEvent.from_dict(e) for e in data.get("events", [])]
+        )
+
+    @classmethod
+    def of(cls, events: Iterable[FaultEvent]) -> "FaultPlan":
+        return cls(events=list(events))

@@ -64,6 +64,16 @@ class EncodedFrameRecord:
 
 
 @dataclass
+class FaultRecord:
+    """One fault window injected into the call."""
+
+    kind: str
+    path_id: int
+    start: float
+    end: float
+
+
+@dataclass
 class PathSendRecord:
     media_packets: int = 0
     media_bytes: int = 0
@@ -93,6 +103,11 @@ class MetricsCollector:
         self.fcd_series = TimeSeries()
         self.path_rate_series: Dict[int, TimeSeries] = {}
         self._received_bytes_window: List[Tuple[float, int]] = []
+        # Fault windows injected by repro.faults and the sender-side
+        # path lifecycle transitions (degraded/disabled/enabled/...),
+        # the raw material for recovery-time accounting.
+        self.fault_events: List[FaultRecord] = []
+        self.path_events: List[Tuple[float, int, str]] = []
 
     # -- sender events -----------------------------------------------------
 
@@ -178,6 +193,23 @@ class MetricsCollector:
 
     def record_fcd(self, time: float, fcd: float) -> None:
         self.fcd_series.append(time, fcd)
+
+    def record_fault(
+        self, kind: str, path_id: int, start: float, end: float
+    ) -> None:
+        """Register one injected fault window (called at arm time)."""
+        self.fault_events.append(FaultRecord(kind, path_id, start, end))
+
+    def record_path_event(self, time: float, path_id: int, event: str) -> None:
+        """Log a sender-side path lifecycle transition.
+
+        Events: ``degraded`` (feedback-silence watchdog froze the
+        path's rate), ``restored`` (feedback returned to a degraded
+        path), ``disabled`` / ``enabled`` (scheduler eligibility), and
+        ``failsafe`` (total feedback starvation forced last-known-good
+        single-path operation).
+        """
+        self.path_events.append((time, path_id, event))
 
     def record_fec_stats(self, fec_received: int, recoveries: int) -> None:
         self.fec_received = fec_received

@@ -1,4 +1,4 @@
-"""A unidirectional network path: drop-tail queue + trace-driven capacity.
+"""A bidirectional network path: drop-tail queue + trace-driven capacity.
 
 This is the emulation equivalent of the cellular/WiFi links in the
 paper's testbed.  Data packets experience:
@@ -8,9 +8,17 @@ paper's testbed.  Data packets experience:
    bandwidth trace reports for the current instant,
 3. a fixed propagation delay plus small random delivery jitter.
 
-The reverse direction (RTCP feedback) is modelled as a delay-only
-channel via :meth:`Path.send_feedback` because control traffic is tiny
-compared to path capacity.
+The reverse direction (RTCP feedback) is a delay-only channel by
+default because control traffic is tiny compared to path capacity, but
+it supports its own loss model and outage windows: the paper's whole
+control loop (scheduler weights, Eq. 2 budgets, path re-enablement,
+per-path FEC) rides on RTCP, and a cellular uplink that blacks out
+takes the control traffic down with it.  Feedback delivery is FIFO —
+delivery times are monotone per path — matching real in-order
+transport of compound RTCP over one socket.
+
+Both directions accept runtime fault overrides (capacity, loss, delay,
+queue size, feedback outage) driven by :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -23,8 +31,9 @@ from repro.net.loss import LossModel, NoLoss
 from repro.net.trace import BandwidthTrace
 from repro.simulation.simulator import Simulator
 
-# Below this capacity the link is treated as in outage and polled until
-# it recovers rather than computing absurd serialization delays.
+# Defaults for PathConfig: below this capacity the link is treated as
+# in outage and polled until it recovers rather than computing absurd
+# serialization delays.
 _OUTAGE_CAPACITY_BPS = 1_000.0
 _OUTAGE_POLL_INTERVAL = 0.02
 
@@ -39,6 +48,14 @@ class PathConfig:
     loss_model: LossModel = field(default_factory=NoLoss)
     queue_capacity_bytes: int = 256_000
     jitter_max: float = 0.002
+    # Loss process of the reverse (RTCP feedback) channel.  Feedback is
+    # lossless by default; chaos scenarios override this to model an
+    # uplink that corrupts or drops control traffic.
+    feedback_loss_model: LossModel = field(default_factory=NoLoss)
+    # Below this capacity the forward link counts as in outage and is
+    # polled at ``outage_poll_interval`` until it recovers.
+    outage_capacity_bps: float = _OUTAGE_CAPACITY_BPS
+    outage_poll_interval: float = _OUTAGE_POLL_INTERVAL
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -46,6 +63,10 @@ class PathConfig:
             raise ValueError("propagation delay must be non-negative")
         if self.queue_capacity_bytes <= 0:
             raise ValueError("queue capacity must be positive")
+        if self.outage_capacity_bps < 0:
+            raise ValueError("outage capacity must be non-negative")
+        if self.outage_poll_interval <= 0:
+            raise ValueError("outage poll interval must be positive")
         if not self.name:
             self.name = f"path-{self.path_id}"
 
@@ -60,6 +81,9 @@ class PathStats:
     delivered_bytes: int = 0
     random_losses: int = 0
     queue_drops: int = 0
+    feedback_sent: int = 0
+    feedback_delivered: int = 0
+    feedback_dropped: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -69,7 +93,12 @@ class PathStats:
 
 
 class Path:
-    """One emulated unidirectional path between sender and receiver."""
+    """One emulated path between sender and receiver.
+
+    Forward direction carries media; the reverse direction carries
+    RTCP.  Fault overrides (set by :class:`repro.faults.FaultInjector`)
+    layer on top of the static configuration and are all reversible.
+    """
 
     def __init__(self, sim: Simulator, config: PathConfig) -> None:
         self.sim = sim
@@ -82,9 +111,56 @@ class Path:
         self._jitter_rng = sim.streams.stream(
             f"path-jitter-{config.path_id}-{config.name}"
         )
+        # Feedback loss draws come from their own stream so enabling a
+        # reverse-channel fault does not perturb forward-loss draws.
+        self._feedback_rng = sim.streams.stream(
+            f"path-feedback-{config.path_id}-{config.name}"
+        )
         self._queue: Deque[object] = deque()
         self._queued_bytes = 0
         self._serving = False
+        # FIFO horizon of the reverse channel: feedback never delivers
+        # before a message scheduled earlier (monotone delivery times).
+        self._feedback_horizon = 0.0
+        # -- runtime fault overrides (None / neutral when healthy) ----
+        self._capacity_cap: Optional[float] = None
+        self._loss_override: Optional[LossModel] = None
+        self._extra_delay = 0.0
+        self._queue_capacity_override: Optional[int] = None
+        self._feedback_outage = False
+        self._feedback_loss_override: Optional[LossModel] = None
+
+    # -- fault hooks ---------------------------------------------------
+
+    def set_capacity_cap(self, bps: Optional[float]) -> None:
+        """Clamp forward capacity to ``bps`` (0 = blackout); None clears."""
+        if bps is not None and bps < 0:
+            raise ValueError("capacity cap must be non-negative")
+        self._capacity_cap = bps
+
+    def set_loss_override(self, model: Optional[LossModel]) -> None:
+        """Replace the forward loss process for the fault window."""
+        self._loss_override = model
+
+    def set_extra_delay(self, seconds: float) -> None:
+        """Add one-way delay to both directions (delay spike)."""
+        if seconds < 0:
+            raise ValueError("extra delay must be non-negative")
+        self._extra_delay = seconds
+
+    def set_queue_capacity_override(self, capacity_bytes: Optional[int]) -> None:
+        """Shrink (or restore) the bottleneck queue (queue flap)."""
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("queue capacity override must be positive")
+        self._queue_capacity_override = capacity_bytes
+
+    def set_feedback_outage(self, active: bool) -> None:
+        """Black out the reverse (RTCP) channel entirely."""
+        self._feedback_outage = active
+
+    def set_feedback_loss(self, model: Optional[LossModel]) -> None:
+        """Replace the reverse-channel loss process for the fault window."""
+        self._feedback_loss_override = model
 
     # -- data direction ------------------------------------------------
 
@@ -97,7 +173,7 @@ class Path:
         size = packet.size_bytes
         self.stats.sent_packets += 1
         self.stats.sent_bytes += size
-        if self._queued_bytes + size > self.config.queue_capacity_bytes:
+        if self._queued_bytes + size > self.effective_queue_capacity:
             self.stats.queue_drops += 1
             return False
         self._queue.append(packet)
@@ -111,9 +187,9 @@ class Path:
         if not self._queue:
             self._serving = False
             return
-        capacity = self.config.trace.capacity_at(self.sim.now)
-        if capacity < _OUTAGE_CAPACITY_BPS:
-            self.sim.schedule(_OUTAGE_POLL_INTERVAL, self._serve_next)
+        capacity = self.capacity_now()
+        if capacity < self.config.outage_capacity_bps:
+            self.sim.schedule(self.config.outage_poll_interval, self._serve_next)
             return
         packet = self._queue.popleft()
         self._queued_bytes -= packet.size_bytes
@@ -124,11 +200,12 @@ class Path:
         # Schedule the next packet's service as soon as this one leaves
         # the transmitter, then propagate this one.
         self._serve_next()
-        if self.config.loss_model.should_drop(self._rng, self.sim.now):
+        loss_model = self._loss_override or self.config.loss_model
+        if loss_model.should_drop(self._rng, self.sim.now):
             self.stats.random_losses += 1
             return
         jitter = self._jitter_rng.uniform(0.0, self.config.jitter_max)
-        delay = self.config.propagation_delay + jitter
+        delay = self.config.propagation_delay + self._extra_delay + jitter
         self.sim.schedule(delay, lambda: self._deliver(packet))
 
     def _deliver(self, packet) -> None:
@@ -140,13 +217,35 @@ class Path:
     # -- feedback direction ---------------------------------------------
 
     def send_feedback(self, message) -> None:
-        """Carry an RTCP message back to the sender after one-way delay."""
-        delay = self.config.propagation_delay + self._jitter_rng.uniform(
-            0.0, self.config.jitter_max
+        """Carry an RTCP message back to the sender after one-way delay.
+
+        Subject to the reverse-channel loss model and outage faults;
+        surviving messages deliver in FIFO order (a message never
+        overtakes one sent before it).
+        """
+        self.stats.feedback_sent += 1
+        if self._feedback_outage:
+            self.stats.feedback_dropped += 1
+            return
+        loss_model = (
+            self._feedback_loss_override or self.config.feedback_loss_model
         )
-        self.sim.schedule(delay, lambda: self._deliver_feedback(message))
+        if loss_model.should_drop(self._feedback_rng, self.sim.now):
+            self.stats.feedback_dropped += 1
+            return
+        delay = (
+            self.config.propagation_delay
+            + self._extra_delay
+            + self._jitter_rng.uniform(0.0, self.config.jitter_max)
+        )
+        deliver_at = max(self.sim.now + delay, self._feedback_horizon)
+        self._feedback_horizon = deliver_at
+        self.sim.schedule_at(
+            deliver_at, lambda: self._deliver_feedback(message)
+        )
 
     def _deliver_feedback(self, message) -> None:
+        self.stats.feedback_delivered += 1
         if self.on_feedback_deliver is not None:
             self.on_feedback_deliver(message)
 
@@ -160,9 +259,18 @@ class Path:
     def queue_len(self) -> int:
         return len(self._queue)
 
+    @property
+    def effective_queue_capacity(self) -> int:
+        if self._queue_capacity_override is not None:
+            return self._queue_capacity_override
+        return self.config.queue_capacity_bytes
+
     def capacity_now(self) -> float:
-        """Current link capacity in bits per second."""
-        return self.config.trace.capacity_at(self.sim.now)
+        """Current link capacity in bits per second (fault-adjusted)."""
+        capacity = self.config.trace.capacity_at(self.sim.now)
+        if self._capacity_cap is not None:
+            capacity = min(capacity, self._capacity_cap)
+        return capacity
 
     @property
     def base_rtt(self) -> float:

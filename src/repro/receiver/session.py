@@ -70,6 +70,13 @@ class ReceiverConfig:
     max_playout_latency: float = 0.8
     qoe_feedback_enabled: bool = True
     nack_enabled: bool = True
+    # Per-path RTCP (transport feedback, receiver reports) rides its
+    # own path's reverse channel, as a real per-interface RTCP socket
+    # would — so a reverse-channel outage on one path silences exactly
+    # that path's control loop.  Call-level RTCP (NACK, keyframe
+    # requests, QoE feedback) always takes the most recently active
+    # path.  Disable to route everything over the most active path.
+    rtcp_per_path: bool = True
     # Optional NetEQ-style playout smoothing (see receiver/playout.py).
     adaptive_playout: bool = False
 
@@ -328,8 +335,19 @@ class ReceiverSession:
         if self._on_rtcp is not None:
             self._on_rtcp(message)
             return
-        # Carry RTCP over the most recently active path: reports about
-        # a failing path must not depend on that path delivering them.
+        if (
+            self.config.rtcp_per_path
+            and message.path_id >= 0
+            and message.path_id in self._path_states
+        ):
+            # Per-path reports ride their own path's reverse channel
+            # (a per-interface RTCP socket): an outage there silences
+            # that path's control loop, which the sender-side watchdog
+            # must then survive.
+            self.paths.get(message.path_id).send_feedback(message)
+            return
+        # Call-level RTCP rides the most recently active path: reports
+        # about a failing path must not depend on it delivering them.
         best = max(
             self._path_states,
             key=lambda pid: self._path_states[pid].last_activity,

@@ -28,6 +28,10 @@ class PathSnapshot:
     max_packets: int
     enabled: bool = True
     last_feedback_age: float = 0.0
+    # Feedback-silence watchdog verdict: the path still carries media
+    # but its control loop is running on stale state, so schedulers
+    # should keep priority packets off it while any healthy path exists.
+    degraded: bool = False
 
     def completion_time(self, num_packets: int, packet_size: int) -> float:
         """Algorithm 1: ``cpt_i = N*k/rate_i + rtt_i/2`` (rate in B/s)."""

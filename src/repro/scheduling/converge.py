@@ -47,6 +47,15 @@ class ConvergeScheduler(Scheduler):
         ordered = self._paths_by_completion_time(
             enabled, len(packets), max_size
         )
+        # Priority packets must not ride a path whose feedback has gone
+        # silent (watchdog-degraded): its srtt/goodput are stale, so
+        # Algorithm 1's completion times lie about it.  Keep the cpt
+        # ordering but demote degraded paths behind every healthy one;
+        # they remain last-resort targets so nothing is dropped.
+        degraded_ids = {p.path_id for p in enabled if p.degraded}
+        priority_order = [pid for pid in ordered if pid not in degraded_ids] + [
+            pid for pid in ordered if pid in degraded_ids
+        ]
         remaining: Dict[int, int] = {
             p.path_id: max(p.max_packets, 1) for p in enabled
         }
@@ -75,9 +84,9 @@ class ConvergeScheduler(Scheduler):
         # P_max it still rides the fast path (losing a keyframe or RTX
         # costs far more than one packet of queueing).
         for packet in priority_packets:
-            target = self._first_with_room(ordered, priority_remaining)
+            target = self._first_with_room(priority_order, priority_remaining)
             if target is None:
-                target = ordered[0]
+                target = priority_order[0]
             else:
                 priority_remaining[target] -= 1
                 if remaining.get(target, 0) > 0:

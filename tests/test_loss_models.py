@@ -1,0 +1,123 @@
+"""Statistical and boundary tests for the packet-loss models.
+
+The fault injector leans on these models for both directions of a
+path, so their stationary behaviour must match what
+``long_run_rate()`` advertises.
+"""
+
+import pytest
+
+from repro.net.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    ScheduledLoss,
+)
+from repro.simulation.random import RandomStreams
+
+
+def fresh_rng(seed=1):
+    return RandomStreams(seed).stream("loss-test")
+
+
+class TestBernoulliLoss:
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, 2.0])
+    def test_rejects_out_of_range_rates(self, rate):
+        with pytest.raises(ValueError):
+            BernoulliLoss(rate)
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0])
+    def test_accepts_boundary_rates(self, rate):
+        model = BernoulliLoss(rate)
+        assert model.long_run_rate() == rate
+        rng = fresh_rng()
+        drops = [model.should_drop(rng) for _ in range(100)]
+        assert all(drops) if rate == 1.0 else not any(drops)
+
+    def test_empirical_rate_matches_long_run_rate(self):
+        model = BernoulliLoss(0.25)
+        rng = fresh_rng(3)
+        n = 40_000
+        drops = sum(model.should_drop(rng) for _ in range(n))
+        assert drops / n == pytest.approx(model.long_run_rate(), abs=0.01)
+
+
+class TestScheduledLoss:
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(ValueError):
+            ScheduledLoss([])
+
+    def test_rejects_out_of_range_step(self):
+        with pytest.raises(ValueError):
+            ScheduledLoss([(0.0, 0.1), (5.0, 1.5)])
+
+    def test_step_boundaries(self):
+        model = ScheduledLoss([(0.0, 0.0), (5.0, 1.0), (10.0, 0.0)])
+        assert model.rate_at(0.0) == 0.0
+        assert model.rate_at(4.999) == 0.0
+        # The step applies exactly at its start time.
+        assert model.rate_at(5.0) == 1.0
+        assert model.rate_at(9.999) == 1.0
+        assert model.rate_at(10.0) == 0.0
+        assert model.rate_at(100.0) == 0.0
+
+    def test_before_first_step_uses_first_rate(self):
+        model = ScheduledLoss([(5.0, 0.5)])
+        assert model.rate_at(0.0) == 0.5
+
+    def test_drops_follow_the_schedule(self):
+        model = ScheduledLoss([(0.0, 0.0), (5.0, 1.0)])
+        rng = fresh_rng()
+        assert not any(model.should_drop(rng, now=1.0) for _ in range(100))
+        assert all(model.should_drop(rng, now=6.0) for _ in range(100))
+
+
+class TestGilbertElliottLoss:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(bad_loss=-0.2)
+
+    def test_long_run_rate_closed_form(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.01, p_bad_to_good=0.09,
+            good_loss=0.0, bad_loss=0.5,
+        )
+        # pi_bad = 0.01 / 0.1 = 0.1; rate = 0.1 * 0.5 = 0.05.
+        assert model.long_run_rate() == pytest.approx(0.05)
+
+    def test_empirical_rate_matches_long_run_rate(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.02, p_bad_to_good=0.2,
+            good_loss=0.01, bad_loss=0.4,
+        )
+        rng = fresh_rng(9)
+        n = 60_000
+        drops = sum(model.should_drop(rng) for _ in range(n))
+        expected = model.long_run_rate()
+        assert drops / n == pytest.approx(expected, rel=0.15)
+
+    def test_losses_are_bursty(self):
+        """Bursty loss: consecutive drops are far likelier than under
+        independent loss at the same average rate."""
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.005, p_bad_to_good=0.05,
+            good_loss=0.0, bad_loss=0.5,
+        )
+        rng = fresh_rng(4)
+        drops = [model.should_drop(rng) for _ in range(50_000)]
+        rate = sum(drops) / len(drops)
+        pairs = sum(
+            1 for a, b in zip(drops, drops[1:]) if a and b
+        ) / max(sum(drops), 1)
+        # P(drop | previous drop) should far exceed the marginal rate.
+        assert pairs > 3 * rate
+
+
+class TestNoLoss:
+    def test_never_drops_and_zero_rate(self):
+        model = NoLoss()
+        rng = fresh_rng()
+        assert not any(model.should_drop(rng) for _ in range(1000))
+        assert model.long_run_rate() == 0.0

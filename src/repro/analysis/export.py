@@ -1,4 +1,4 @@
-"""JSON export of call results for external post-processing."""
+"""JSON export of call results and runner reports."""
 
 from __future__ import annotations
 
@@ -38,8 +38,10 @@ def result_to_dict(result: CallResult) -> Dict[str, Any]:
             "e2e_p95": summary.e2e_p95,
             "freeze_count": summary.freeze.count,
             "freeze_total": summary.freeze.total_duration,
+            "freeze_mean": summary.freeze.mean_duration,
             "average_qp": summary.average_qp,
             "average_psnr": summary.average_psnr,
+            "psnr_samples": list(summary.psnr_samples),
             "fec_overhead": summary.fec_overhead,
             "fec_utilization": summary.fec_utilization,
             "frame_drops": summary.frame_drops,
@@ -50,6 +52,7 @@ def result_to_dict(result: CallResult) -> Dict[str, Any]:
             "target_rate": _series(metrics.target_rate_series),
             "ifd": _series(metrics.ifd_series),
             "fcd": _series(metrics.fcd_series),
+            "fps": _series(metrics.fps_series(result.config.duration)),
             "path_rates": {
                 str(path_id): _series(series)
                 for path_id, series in metrics.path_rate_series.items()
@@ -113,4 +116,44 @@ def save_result_json(result: CallResult, path: Union[str, Path]) -> Path:
     """Write ``result`` to ``path`` as JSON; returns the path."""
     target = Path(path)
     target.write_text(json.dumps(result_to_dict(result), indent=2))
+    return target
+
+
+def run_report_to_dict(report) -> Dict[str, Any]:
+    """Flatten a :class:`repro.experiments.runner.RunReport` to JSON data.
+
+    Includes the runner's wall-clock/cache statistics — the numbers the
+    perf trajectory (``BENCH_*.json``) tracks — plus every cell summary.
+    """
+    return {
+        "stats": {
+            "cells_total": report.stats.cells_total,
+            "cells_unique": report.stats.cells_unique,
+            "executed": report.stats.executed,
+            "cache_hits": report.stats.cache_hits,
+            "cache_hit_rate": report.stats.cache_hit_rate,
+            "errors": report.stats.errors,
+            "jobs": report.stats.jobs,
+            "wall_seconds": report.stats.wall_seconds,
+            "simulated_seconds": report.stats.simulated_seconds,
+            "executed_wall_seconds": report.stats.executed_wall_seconds,
+        },
+        "cells": [
+            {
+                "key": outcome.key,
+                "cell": outcome.cell.resolved(),
+                "cached": outcome.cached,
+                "wall_seconds": outcome.wall_seconds,
+                "error": outcome.error,
+                "summary": outcome.summary.data if outcome.summary else None,
+            }
+            for outcome in report.outcomes
+        ],
+    }
+
+
+def save_run_report_json(report, path: Union[str, Path]) -> Path:
+    """Write a runner report (stats + all cell summaries) as JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(run_report_to_dict(report), indent=2))
     return target

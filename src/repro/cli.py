@@ -3,22 +3,29 @@
 Usage::
 
     python -m repro run --system converge --scenario driving --duration 30
+    python -m repro run --jobs 4 --cache ~/.cache/repro-converge
     python -m repro compare --scenario walking --duration 30
-    python -m repro experiment fig12 --duration 60
+    python -m repro sweep --systems converge srtt --seeds 4 --jobs 4
+    python -m repro experiment fig12 --duration 60 --jobs 8
     python -m repro chaos --chaos rtcp-blackout --scenario driving
+    python -m repro cache ls
+    python -m repro cache clear
     python -m repro list
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed``: the same invocation
+produces byte-identical results whether it runs serially, across
+``--jobs`` worker processes, or out of the ``--cache`` directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.analysis.export import save_run_report_json
 from repro.analysis.plots import render_series, sparkline
-from repro.analysis.export import save_result_json
 from repro.core.config import FecMode, SystemKind
 from repro.experiments import (
     fig01_motivation,
@@ -28,11 +35,13 @@ from repro.experiments import (
     fig12_13_fec,
     fig14_15_comparison,
     fig16_17_stationary,
+    sweeps,
     traces_appendix,
 )
-from repro.experiments.common import run_chaos, run_system, scenario_paths
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.cells import ScenarioPaths, expand_grid, make_cell
+from repro.experiments.runner import results_of, run_cells
 from repro.faults.scenarios import chaos_scenario_names
-from repro.metrics.recovery import compute_recovery
 from repro.metrics.report import format_table
 from repro.traces.scenarios import scenario_networks
 
@@ -44,10 +53,27 @@ EXPERIMENTS = {
     "fig12": fig12_13_fec,
     "fig14": fig14_15_comparison,
     "fig16": fig16_17_stationary,
+    "sweeps": sweeps,
     "traces": traces_appendix,
 }
 
 SCENARIOS = ("stationary", "walking", "driving")
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """The three flags every runner-backed command shares."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="cache results under DIR (reused on identical re-runs)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per finished cell to stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--plot", action="store_true", help="render terminal charts"
     )
+    _add_runner_args(run_parser)
 
     compare_parser = sub.add_parser(
         "compare", help="run every system on one scenario"
@@ -95,6 +122,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--duration", type=float, default=30.0)
     compare_parser.add_argument("--streams", type=int, default=1)
     compare_parser.add_argument("--seed", type=int, default=1)
+    _add_runner_args(compare_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a scenarios x systems x seeds grid"
+    )
+    sweep_parser.add_argument(
+        "--scenarios", nargs="+", choices=SCENARIOS, default=list(SCENARIOS)
+    )
+    sweep_parser.add_argument(
+        "--systems", nargs="+",
+        choices=[s.value for s in SystemKind],
+        default=[s.value for s in SystemKind],
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="number of seeds per point (seed, seed+1, ...)",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument("--duration", type=float, default=30.0)
+    sweep_parser.add_argument("--streams", type=int, default=1)
+    sweep_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full run report (stats + every cell) as JSON",
+    )
+    _add_runner_args(sweep_parser)
 
     chaos_parser = sub.add_parser(
         "chaos", help="run one call under an injected fault plan"
@@ -123,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "--plot", action="store_true", help="render terminal charts"
     )
+    _add_runner_args(chaos_parser)
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -130,39 +183,82 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment_parser.add_argument("--duration", type=float, default=60.0)
     experiment_parser.add_argument("--seed", type=int, default=1)
+    _add_runner_args(experiment_parser)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the result cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("ls", "list cached cell results"),
+        ("clear", "delete every cached result"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=help_text)
+        cache_cmd.add_argument(
+            "--cache", metavar="DIR", default=None,
+            help=f"cache directory (default: {default_cache_dir()})",
+        )
 
     sub.add_parser("list", help="list systems, scenarios, experiments")
     return parser
 
 
+def _run_single_cell(cell, args: argparse.Namespace):
+    """Run one cell through the runner; returns its CellSummary."""
+    report = run_cells(
+        [cell], jobs=args.jobs, cache=args.cache, progress=args.progress
+    )
+    return results_of(report)[0]
+
+
+def _print_charts(summary, duration: float) -> None:
+    rate = summary.series_pairs("receive_rate")
+    if rate:
+        print()
+        print(
+            render_series(
+                [(t, v / 1e6) for t, v in rate],
+                title="received rate (Mbps)",
+            )
+        )
+    fps = summary.series_values("fps")
+    print()
+    print(f"FPS      {sparkline(fps, width=72)}")
+
+
+def _write_payload(summary, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(summary.data, handle, indent=2)
+    print(f"\nwrote {path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    kwargs = {}
+    overrides = {}
     if args.fec is not None:
-        kwargs["fec_mode"] = FecMode(args.fec)
+        overrides["fec_mode"] = FecMode(args.fec)
     if args.no_feedback:
-        kwargs["qoe_feedback_enabled"] = False
-    paths = scenario_paths(args.scenario, args.duration, args.seed)
-    result = run_system(
+        overrides["qoe_feedback_enabled"] = False
+    cell = make_cell(
+        ScenarioPaths(args.scenario),
         SystemKind(args.system),
-        paths,
+        seed=args.seed,
         duration=args.duration,
         num_streams=args.streams,
-        seed=args.seed,
-        **kwargs,
+        **overrides,
     )
-    summary = result.summary
+    summary = _run_single_cell(cell, args)
     print(
         format_table(
             ["metric", "value"],
             [
-                ["system", result.label],
+                ["system", summary.label],
                 ["scenario", args.scenario],
                 ["frames rendered", summary.frames_rendered],
                 ["average FPS", summary.average_fps],
                 ["throughput (Mbps)", summary.throughput_bps / 1e6],
                 ["E2E mean (ms)", 1000 * summary.e2e_mean],
                 ["E2E p95 (ms)", 1000 * summary.e2e_p95],
-                ["freeze total (s)", summary.freeze.total_duration],
+                ["freeze total (s)", summary.freeze_total],
                 ["QP", summary.average_qp],
                 ["PSNR (dB)", summary.average_psnr],
                 ["FEC overhead (%)", 100 * summary.fec_overhead],
@@ -173,53 +269,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     )
     if args.plot:
-        rate = result.metrics.receive_rate_series
-        if len(rate):
-            print()
-            print(
-                render_series(
-                    list(zip(rate.times, [v / 1e6 for v in rate.values])),
-                    title="received rate (Mbps)",
-                )
-            )
-        fps = result.metrics.fps_series(args.duration)
-        print()
-        print(f"FPS      {sparkline(fps.values, width=72)}")
+        _print_charts(summary, args.duration)
     if args.json:
-        target = save_result_json(result, args.json)
-        print(f"\nwrote {target}")
+        _write_payload(summary, args.json)
     return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    result = run_chaos(
+    cell = make_cell(
+        ScenarioPaths(args.scenario),
         SystemKind(args.system),
-        args.scenario,
-        args.chaos,
+        seed=args.seed,
         duration=args.duration,
         num_streams=args.streams,
-        seed=args.seed,
+        chaos=args.chaos,
     )
-    summary = result.summary
+    summary = _run_single_cell(cell, args)
+    faults = summary.faults
     print(
         format_table(
             ["metric", "value"],
             [
-                ["system", result.label],
+                ["system", summary.label],
                 ["scenario", args.scenario],
                 ["chaos plan", args.chaos],
-                ["faults injected", len(result.metrics.fault_events)],
+                ["faults injected", len(faults["injected"])],
                 ["average FPS", summary.average_fps],
                 ["throughput (Mbps)", summary.throughput_bps / 1e6],
                 ["E2E mean (ms)", 1000 * summary.e2e_mean],
-                ["freeze total (s)", summary.freeze.total_duration],
+                ["freeze total (s)", summary.freeze_total],
                 ["frame drops", summary.frame_drops],
             ],
         )
     )
-    recoveries = compute_recovery(
-        result.metrics, args.duration, frame_rate=result.config.frame_rate
-    )
+    recoveries = faults.get("recovery", [])
     if recoveries:
         print()
 
@@ -232,58 +315,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                  "rate rec (s)", "QoE rec (s)"],
                 [
                     [
-                        r.fault.kind,
-                        r.fault.path_id,
-                        f"{r.fault.start:.1f}-{r.fault.end:.1f}",
-                        fmt(r.reenable_time),
-                        fmt(r.rate_recovery_time),
-                        fmt(r.qoe_recovery_time),
+                        r["kind"],
+                        r["path_id"],
+                        f"{r['start']:.1f}-{r['end']:.1f}",
+                        fmt(r["reenable_time"]),
+                        fmt(r["rate_recovery_time"]),
+                        fmt(r["qoe_recovery_time"]),
                     ]
                     for r in recoveries
                 ],
             )
         )
     if args.plot:
-        rate = result.metrics.receive_rate_series
-        if len(rate):
-            print()
-            print(
-                render_series(
-                    list(zip(rate.times, [v / 1e6 for v in rate.values])),
-                    title="received rate (Mbps)",
-                )
-            )
-        fps = result.metrics.fps_series(args.duration)
-        print()
-        print(f"FPS      {sparkline(fps.values, width=72)}")
+        _print_charts(summary, args.duration)
     if args.json:
-        target = save_result_json(result, args.json)
-        print(f"\nwrote {target}")
+        _write_payload(summary, args.json)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    paths = scenario_paths(args.scenario, args.duration, args.seed)
-    rows = []
-    for system in SystemKind:
-        result = run_system(
+    spec = ScenarioPaths(args.scenario)
+    job_list = [
+        make_cell(
+            spec,
             system,
-            paths,
+            seed=args.seed,
             duration=args.duration,
             num_streams=args.streams,
-            seed=args.seed,
         )
-        s = result.summary
+        for system in SystemKind
+    ]
+    report = run_cells(
+        job_list, jobs=args.jobs, cache=args.cache, progress=args.progress
+    )
+    rows = []
+    for summary in results_of(report):
         rows.append(
             [
-                result.label,
-                s.throughput_bps / 1e6,
-                s.average_fps,
-                1000 * s.e2e_mean,
-                s.freeze.total_duration,
-                s.average_qp,
-                100 * s.fec_overhead,
-                s.frame_drops,
+                summary.label,
+                summary.throughput_bps / 1e6,
+                summary.average_fps,
+                1000 * summary.e2e_mean,
+                summary.freeze_total,
+                summary.average_qp,
+                100 * summary.fec_overhead,
+                summary.frame_drops,
             ]
         )
     print(
@@ -296,9 +372,107 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    seeds = [args.seed + i for i in range(max(args.seeds, 1))]
+    job_list = expand_grid(
+        [ScenarioPaths(scenario) for scenario in args.scenarios],
+        [SystemKind(system) for system in args.systems],
+        seeds,
+        duration=args.duration,
+        num_streams=args.streams,
+    )
+    report = run_cells(
+        job_list, jobs=args.jobs, cache=args.cache, progress=args.progress
+    )
+    # Per (scenario, system) seed-averaged rows; failures counted, not fatal.
+    rows = []
+    index = 0
+    for scenario in args.scenarios:
+        for system in args.systems:
+            outcomes = report.outcomes[index:index + len(seeds)]
+            index += len(seeds)
+            good = [o.summary for o in outcomes if o.ok]
+            failed = len(outcomes) - len(good)
+            if not good:
+                rows.append([scenario, system, "-", "-", "-", "-", failed])
+                continue
+            n = len(good)
+            rows.append(
+                [
+                    scenario,
+                    system,
+                    sum(s.throughput_bps for s in good) / n / 1e6,
+                    sum(s.average_fps for s in good) / n,
+                    1000 * sum(s.e2e_mean for s in good) / n,
+                    sum(s.freeze_total for s in good) / n,
+                    failed,
+                ]
+            )
+    print(
+        format_table(
+            ["scenario", "system", "tput Mbps", "FPS", "E2E ms",
+             "freeze s", "failed"],
+            rows,
+        )
+    )
+    stats = report.stats
+    print(
+        f"\n{stats.cells_total} cells ({stats.cells_unique} unique), "
+        f"{stats.executed} executed, {stats.cache_hits} cached "
+        f"({100 * stats.cache_hit_rate:.0f}%), {stats.errors} errors, "
+        f"{stats.wall_seconds:.1f}s wall on {stats.jobs} jobs"
+    )
+    if args.json:
+        target = save_run_report_json(report, args.json)
+        print(f"wrote {target}")
+    return 0 if report.ok() else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module = EXPERIMENTS[args.name]
-    module.main(duration=args.duration, seed=args.seed)
+    module.main(
+        duration=args.duration,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        progress=args.progress,
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultCache(args.cache)
+    if args.cache_command == "ls":
+        rows = store.ls()
+        if not rows:
+            print(f"cache {store.root}: empty")
+            return 0
+        print(
+            format_table(
+                ["key", "label", "system", "seed", "dur (s)", "age (s)",
+                 "wall (s)", "stale"],
+                [
+                    [
+                        row["key"],
+                        row["label"],
+                        row["system"],
+                        row["seed"],
+                        row["duration"],
+                        int(row["age_seconds"]),
+                        row["wall_seconds"],
+                        "yes" if row["stale"] else "",
+                    ]
+                    for row in rows
+                ],
+            )
+        )
+        print(
+            f"\n{len(rows)} entries, "
+            f"{store.size_bytes() / 1e6:.1f} MB in {store.root}"
+        )
+    else:
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
     return 0
 
 
@@ -318,7 +492,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "chaos": _cmd_chaos,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
+        "cache": _cmd_cache,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

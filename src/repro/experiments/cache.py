@@ -1,0 +1,174 @@
+"""Content-addressed on-disk cache of cell results.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one file per cell, holding
+the resolved cell, the summary payload and bookkeeping metadata.  The
+summary section is stored as canonical JSON, so a cache hit returns
+bytes identical to what a fresh run would produce (JSON round-trips
+Python floats exactly).
+
+Writes are atomic (temp file + rename) so a crashed or parallel
+writer can never leave a torn entry; concurrent writers of the same
+key both write the same content, so the race is benign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.experiments.cells import CODE_VERSION, canonical_json
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE`` env override, else ``~/.cache/repro-converge``."""
+    env = os.environ.get("REPRO_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-converge"
+
+
+@dataclass
+class CacheEntry:
+    """One cached cell summary plus its provenance."""
+
+    key: str
+    cell: Dict[str, Any]
+    summary: Dict[str, Any]
+    code_version: str
+    created: float
+    wall_seconds: float
+
+    @property
+    def label(self) -> str:
+        return self.cell.get("label") or self.cell.get("system", "?")
+
+
+class ResultCache:
+    """A content-addressed store of cell summaries."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- lookup / store -----------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Return the entry for ``key`` or None; torn files read as misses."""
+        target = self.path_for(key)
+        try:
+            raw = target.read_text()
+        except OSError:
+            return None
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            return None
+        if data.get("key") != key:
+            return None
+        return CacheEntry(
+            key=key,
+            cell=data.get("cell", {}),
+            summary=data.get("summary", {}),
+            code_version=data.get("code_version", ""),
+            created=data.get("created", 0.0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
+
+    def put(
+        self,
+        key: str,
+        cell: Dict[str, Any],
+        summary: Dict[str, Any],
+        wall_seconds: float,
+    ) -> Path:
+        """Store ``summary`` under ``key`` atomically; returns the path."""
+        target = self.path_for(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "cell": cell,
+            "summary": summary,
+            "code_version": CODE_VERSION,
+            "created": time.time(),
+            "wall_seconds": wall_seconds,
+        }
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(target.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as temp:
+                temp.write(canonical_json(payload))
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    # -- management ---------------------------------------------------------
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """All readable entries, sorted by key for stable listings."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            entry = self.get(path.stem)
+            if entry is not None:
+                yield entry
+
+    def ls(self) -> List[Dict[str, Any]]:
+        """Listing rows for ``repro cache ls``."""
+        rows = []
+        for entry in self.entries():
+            cell = entry.cell
+            rows.append(
+                {
+                    "key": entry.key[:12],
+                    "label": entry.label,
+                    "system": cell.get("system", "?"),
+                    "seed": cell.get("seed", "?"),
+                    "duration": cell.get("duration", "?"),
+                    "age_seconds": max(time.time() - entry.created, 0.0),
+                    "wall_seconds": entry.wall_seconds,
+                    "stale": entry.code_version != CODE_VERSION,
+                }
+            )
+        return rows
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def size_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            path.stat().st_size for path in self.root.glob("*/*.json")
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())

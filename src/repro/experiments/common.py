@@ -1,4 +1,20 @@
-"""Shared plumbing for the experiment modules."""
+"""Shared plumbing for the experiment modules.
+
+Two layers live here:
+
+- direct helpers (:func:`run_system`, :func:`run_chaos`) that build
+  and run one call in-process — used by unit tests and examples that
+  need the full :class:`~repro.core.session.CallResult` object;
+- path builders (:func:`scenario_paths`, :func:`constant_paths`) that
+  the declarative cell specs of :mod:`repro.experiments.cells` resolve
+  inside worker processes.
+
+The figure modules themselves no longer call :func:`run_system`
+directly: they expand into :class:`~repro.experiments.cells.Cell`
+lists and execute through :func:`repro.experiments.runner.run_cells`,
+which fans independent cells across processes and memoizes each one in
+the on-disk result cache.
+"""
 
 from __future__ import annotations
 

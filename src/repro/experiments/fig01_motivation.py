@@ -11,11 +11,14 @@ summary statistics that make the motivation concrete (time below the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import SystemKind
-from repro.experiments.common import scenario_paths, run_system
+from repro.experiments.cells import ScenarioPaths, make_cell
+from repro.experiments.runner import results_of, run_cells
 from repro.metrics.report import format_table
+
+NETWORKS = ("tmobile", "verizon")
 
 
 @dataclass
@@ -35,20 +38,35 @@ class Fig01Result:
     rows: List[Fig01Row]
 
 
-def run(duration: float = 60.0, seed: int = 1, target_fps: float = 24.0) -> Fig01Result:
-    """Run the Figure 1 motivation experiment."""
-    rows: List[Fig01Row] = []
-    for network in ("tmobile", "verizon"):
-        paths = scenario_paths("driving", duration, seed, networks=[network])
-        result = run_system(
+def cells(duration: float = 60.0, seed: int = 1) -> list:
+    """One single-path WebRTC cell per driving network."""
+    return [
+        make_cell(
+            ScenarioPaths("driving", networks=(network,)),
             SystemKind.WEBRTC,
-            paths,
-            duration=duration,
             seed=seed,
+            duration=duration,
             label=f"webrtc-{network}",
         )
-        summary = result.summary
-        fps_series = result.metrics.fps_series(duration).values
+        for network in NETWORKS
+    ]
+
+
+def run(
+    duration: float = 60.0,
+    seed: int = 1,
+    target_fps: float = 24.0,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> Fig01Result:
+    """Run the Figure 1 motivation experiment."""
+    report = run_cells(
+        cells(duration, seed), jobs=jobs, cache=cache, progress=progress
+    )
+    rows: List[Fig01Row] = []
+    for network, summary in zip(NETWORKS, results_of(report)):
+        fps_series = summary.series_values("fps")
         below = sum(1 for v in fps_series if v < target_fps) / max(
             len(fps_series), 1
         )
@@ -59,7 +77,7 @@ def run(duration: float = 60.0, seed: int = 1, target_fps: float = 24.0) -> Fig0
                 fraction_below_target=below,
                 e2e_mean=summary.e2e_mean,
                 e2e_p95=summary.e2e_p95,
-                freeze_seconds=summary.freeze.total_duration,
+                freeze_seconds=summary.freeze_total,
                 fps_series=fps_series,
                 e2e_series_mean=summary.e2e_mean,
             )
@@ -67,10 +85,18 @@ def run(duration: float = 60.0, seed: int = 1, target_fps: float = 24.0) -> Fig0
     return Fig01Result(rows=rows)
 
 
-def main(duration: float = 60.0, seed: int = 1) -> str:
+def main(
+    duration: float = 60.0,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> str:
     from repro.analysis.plots import sparkline
 
-    result = run(duration=duration, seed=seed)
+    result = run(
+        duration=duration, seed=seed, jobs=jobs, cache=cache, progress=progress
+    )
     table = format_table(
         ["network", "mean FPS", "frac<24fps", "E2E mean (s)", "E2E p95 (s)", "freeze (s)"],
         [

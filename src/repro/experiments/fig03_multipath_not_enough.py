@@ -16,10 +16,11 @@ while Converge matches or beats WebRTC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.config import SystemKind
-from repro.experiments.common import run_system, scenario_paths
+from repro.experiments.cells import ScenarioPaths, make_cell
+from repro.experiments.runner import results_of, run_cells
 from repro.metrics.report import format_table
 
 SYSTEMS = (
@@ -50,36 +51,62 @@ class Fig03Result:
         return [c for c in self.cells if c.system == system]
 
 
+def cells(
+    duration: float = 60.0,
+    seed: int = 1,
+    stream_counts: Sequence[int] = (1, 2, 3),
+    systems: Sequence[SystemKind] = SYSTEMS,
+) -> list:
+    return [
+        make_cell(
+            ScenarioPaths("driving"),
+            system,
+            seed=seed,
+            duration=duration,
+            num_streams=num_streams,
+        )
+        for num_streams in stream_counts
+        for system in systems
+    ]
+
+
 def run(
     duration: float = 60.0,
     seed: int = 1,
     stream_counts: Sequence[int] = (1, 2, 3),
     systems: Sequence[SystemKind] = SYSTEMS,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
 ) -> Fig03Result:
-    cells: List[Fig03Cell] = []
-    for num_streams in stream_counts:
-        paths = scenario_paths("driving", duration, seed)
-        for system in systems:
-            result = run_system(
-                system, paths, duration=duration, num_streams=num_streams, seed=seed
+    job_list = cells(duration, seed, stream_counts, systems)
+    report = run_cells(job_list, jobs=jobs, cache=cache, progress=progress)
+    rows: List[Fig03Cell] = []
+    for cell, summary in zip(job_list, results_of(report)):
+        rows.append(
+            Fig03Cell(
+                system=summary.label,
+                num_streams=cell.num_streams,
+                normalized_fps=summary.normalized()["fps"],
+                mean_freeze_duration=summary.freeze_mean,
+                fec_overhead=summary.fec_overhead,
+                frame_drops=summary.frame_drops,
+                keyframe_requests=summary.keyframe_requests,
             )
-            summary = result.summary
-            cells.append(
-                Fig03Cell(
-                    system=result.label,
-                    num_streams=num_streams,
-                    normalized_fps=summary.normalized()["fps"],
-                    mean_freeze_duration=summary.freeze.mean_duration,
-                    fec_overhead=summary.fec_overhead,
-                    frame_drops=summary.frame_drops,
-                    keyframe_requests=summary.keyframe_requests,
-                )
-            )
-    return Fig03Result(cells=cells)
+        )
+    return Fig03Result(cells=rows)
 
 
-def main(duration: float = 60.0, seed: int = 1) -> str:
-    result = run(duration=duration, seed=seed)
+def main(
+    duration: float = 60.0,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> str:
+    result = run(
+        duration=duration, seed=seed, jobs=jobs, cache=cache, progress=progress
+    )
     fig = format_table(
         ["# streams", "system", "norm. FPS", "mean freeze (s)", "FEC overhead"],
         [

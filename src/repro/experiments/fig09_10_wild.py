@@ -13,10 +13,11 @@ system and per number of camera streams:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SystemKind
-from repro.experiments.common import run_system, scenario_paths
+from repro.experiments.cells import ScenarioPaths, make_cell
+from repro.experiments.runner import results_of, run_cells
 from repro.metrics.report import format_table
 
 SCENARIO_NETWORKS = {
@@ -57,56 +58,83 @@ def _single_path_label(network: str) -> str:
     }[network]
 
 
+def cells(
+    scenario: str = "driving",
+    duration: float = 60.0,
+    seed: int = 1,
+    stream_counts: Sequence[int] = (1, 2, 3),
+) -> list:
+    if scenario not in SCENARIO_NETWORKS:
+        raise ValueError(f"scenario must be one of {sorted(SCENARIO_NETWORKS)}")
+    networks = SCENARIO_NETWORKS[scenario]
+    spec = ScenarioPaths(scenario, networks=tuple(networks))
+    job_list = []
+    for num_streams in stream_counts:
+        runs = [
+            (SystemKind.WEBRTC, 0, _single_path_label(networks[0])),
+            (SystemKind.WEBRTC, 1, _single_path_label(networks[1])),
+            (SystemKind.CONVERGE, 0, "converge"),
+        ]
+        for system, single_path_id, label in runs:
+            job_list.append(
+                make_cell(
+                    spec,
+                    system,
+                    seed=seed,
+                    duration=duration,
+                    num_streams=num_streams,
+                    single_path_id=single_path_id,
+                    label=label,
+                )
+            )
+    return job_list
+
+
 def run(
     scenario: str = "driving",
     duration: float = 60.0,
     seed: int = 1,
     stream_counts: Sequence[int] = (1, 2, 3),
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
 ) -> WildResult:
-    if scenario not in SCENARIO_NETWORKS:
-        raise ValueError(f"scenario must be one of {sorted(SCENARIO_NETWORKS)}")
-    networks = SCENARIO_NETWORKS[scenario]
+    job_list = cells(scenario, duration, seed, stream_counts)
+    report = run_cells(job_list, jobs=jobs, cache=cache, progress=progress)
     rows: List[WildRow] = []
-    for num_streams in stream_counts:
-        paths = scenario_paths(scenario, duration, seed, networks=networks)
-        runs = [
-            (SystemKind.WEBRTC, {"single_path_id": 0, "label": _single_path_label(networks[0])}),
-            (SystemKind.WEBRTC, {"single_path_id": 1, "label": _single_path_label(networks[1])}),
-            (SystemKind.CONVERGE, {"label": "converge"}),
-        ]
-        for system, kwargs in runs:
-            result = run_system(
-                system,
-                paths,
-                duration=duration,
-                num_streams=num_streams,
-                seed=seed,
-                **kwargs,
+    for cell, summary in zip(job_list, results_of(report)):
+        rows.append(
+            WildRow(
+                scenario=scenario,
+                system=summary.label,
+                num_streams=cell.num_streams,
+                throughput_bps=summary.throughput_bps,
+                mean_fps=summary.average_fps,
+                e2e_mean=summary.e2e_mean,
+                e2e_std=summary.e2e_std,
+                stall_seconds=summary.freeze_total,
+                fec_overhead=summary.fec_overhead,
+                fec_utilization=summary.fec_utilization,
+                qp=summary.average_qp,
+                normalized=summary.normalized(),
             )
-            summary = result.summary
-            rows.append(
-                WildRow(
-                    scenario=scenario,
-                    system=result.label,
-                    num_streams=num_streams,
-                    throughput_bps=summary.throughput_bps,
-                    mean_fps=summary.average_fps,
-                    e2e_mean=summary.e2e_mean,
-                    e2e_std=summary.e2e_std,
-                    stall_seconds=summary.freeze.total_duration,
-                    fec_overhead=summary.fec_overhead,
-                    fec_utilization=summary.fec_utilization,
-                    qp=summary.average_qp,
-                    normalized=summary.normalized(),
-                )
-            )
+        )
     return WildResult(rows=rows)
 
 
-def main(duration: float = 60.0, seed: int = 1) -> str:
+def main(
+    duration: float = 60.0,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> str:
     outputs = []
     for scenario in ("walking", "driving"):
-        result = run(scenario=scenario, duration=duration, seed=seed)
+        result = run(
+            scenario=scenario, duration=duration, seed=seed,
+            jobs=jobs, cache=cache, progress=progress,
+        )
         fig10 = format_table(
             ["#", "system", "norm tput", "norm FPS", "stall frac", "norm QP"],
             [

@@ -16,10 +16,11 @@ lost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemKind
-from repro.experiments.common import run_system
+from repro.experiments.cells import BuilderPaths, make_cell
+from repro.experiments.runner import CellSummary, results_of, run_cells
 from repro.metrics.report import format_table
 from repro.net.loss import BernoulliLoss, ScheduledLoss
 from repro.net.path import PathConfig
@@ -95,61 +96,54 @@ def fig11_paths(
     return [path1, path2]
 
 
-def _run_arm(
-    feedback_enabled: bool, duration: float, seeds: Sequence[int]
+def _arm_label(feedback_enabled: bool) -> str:
+    return "with-feedback" if feedback_enabled else "without-feedback"
+
+
+def cells(
+    duration: float = 120.0, seed: int = 1, num_seeds: int = 3
+) -> list:
+    """Both arms crossed with the seed set, as one flat cell list."""
+    seeds = [seed + i for i in range(num_seeds)]
+    return [
+        make_cell(
+            BuilderPaths("repro.experiments.fig11_feedback:fig11_paths"),
+            SystemKind.CONVERGE,
+            seed=cell_seed,
+            duration=duration,
+            label=_arm_label(feedback_enabled),
+            qoe_feedback_enabled=feedback_enabled,
+        )
+        for feedback_enabled in (True, False)
+        for cell_seed in seeds
+    ]
+
+
+def _aggregate_arm(
+    feedback_enabled: bool, summaries: Sequence[CellSummary]
 ) -> FeedbackArmResult:
-    """Run one arm over several seeds; series come from the first.
+    """Average one arm over its seeds; series come from the first.
 
     The fade-onset damage (frames already in flight when capacity
     collapses) is luck-of-the-draw per seed, so the Table 4 numbers
     average a few runs.
     """
-    label = "with-feedback" if feedback_enabled else "without-feedback"
-    totals = {"drops": 0.0, "freeze": 0.0, "mean_freeze": 0.0, "kfr": 0.0,
-              "ifd": 0.0, "fcd": 0.0, "tput": 0.0}
-    first_metrics = None
-    for seed in seeds:
-        result = run_system(
-            SystemKind.CONVERGE,
-            fig11_paths(duration),
-            duration=duration,
-            seed=seed,
-            qoe_feedback_enabled=feedback_enabled,
-            label=label,
-        )
-        summary = result.summary
-        totals["drops"] += summary.frame_drops
-        totals["freeze"] += summary.freeze.total_duration
-        totals["mean_freeze"] += summary.freeze.mean_duration
-        totals["kfr"] += summary.keyframe_requests
-        totals["ifd"] += result.metrics.ifd_series.mean()
-        totals["fcd"] += result.metrics.fcd_series.mean()
-        totals["tput"] += summary.throughput_bps
-        if first_metrics is None:
-            first_metrics = result.metrics
-    n = len(seeds)
-    assert first_metrics is not None
+    n = len(summaries)
+    first = summaries[0]
     return FeedbackArmResult(
-        label=label,
-        frame_drops=int(totals["drops"] / n),
-        freeze_total=totals["freeze"] / n,
-        mean_freeze=totals["mean_freeze"] / n,
-        keyframe_requests=int(totals["kfr"] / n),
-        mean_ifd=totals["ifd"] / n,
-        mean_fcd=totals["fcd"] / n,
-        ifd_series=list(
-            zip(first_metrics.ifd_series.times, first_metrics.ifd_series.values)
+        label=_arm_label(feedback_enabled),
+        frame_drops=int(sum(s.frame_drops for s in summaries) / n),
+        freeze_total=sum(s.freeze_total for s in summaries) / n,
+        mean_freeze=sum(s.freeze_mean for s in summaries) / n,
+        keyframe_requests=int(
+            sum(s.keyframe_requests for s in summaries) / n
         ),
-        fcd_series=list(
-            zip(first_metrics.fcd_series.times, first_metrics.fcd_series.values)
-        ),
-        rate_series=list(
-            zip(
-                first_metrics.receive_rate_series.times,
-                first_metrics.receive_rate_series.values,
-            )
-        ),
-        throughput_bps=totals["tput"] / n,
+        mean_ifd=sum(s.series_mean("ifd") for s in summaries) / n,
+        mean_fcd=sum(s.series_mean("fcd") for s in summaries) / n,
+        ifd_series=first.series_pairs("ifd"),
+        fcd_series=first.series_pairs("fcd"),
+        rate_series=first.series_pairs("receive_rate"),
+        throughput_bps=sum(s.throughput_bps for s in summaries) / n,
     )
 
 
@@ -157,18 +151,33 @@ def run(
     duration: float = 120.0,
     seed: int = 1,
     num_seeds: int = 3,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
 ) -> Fig11Result:
-    seeds = [seed + i for i in range(num_seeds)]
+    report = run_cells(
+        cells(duration, seed, num_seeds),
+        jobs=jobs, cache=cache, progress=progress,
+    )
+    summaries = results_of(report)
     return Fig11Result(
-        with_feedback=_run_arm(True, duration, seeds),
-        without_feedback=_run_arm(False, duration, seeds),
+        with_feedback=_aggregate_arm(True, summaries[:num_seeds]),
+        without_feedback=_aggregate_arm(False, summaries[num_seeds:]),
     )
 
 
-def main(duration: float = 120.0, seed: int = 1) -> str:
+def main(
+    duration: float = 120.0,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> str:
     from repro.analysis.plots import render_series
 
-    result = run(duration=duration, seed=seed)
+    result = run(
+        duration=duration, seed=seed, jobs=jobs, cache=cache, progress=progress
+    )
     arms = [result.with_feedback, result.without_feedback]
     charts = "\n\n".join(
         render_series(

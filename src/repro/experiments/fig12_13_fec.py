@@ -15,10 +15,11 @@ as §6.2's component analysis does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.config import FecMode, SystemKind
-from repro.experiments.common import constant_paths, run_system
+from repro.experiments.cells import ConstantPaths, make_cell
+from repro.experiments.runner import results_of, run_cells
 from repro.metrics.report import format_table
 
 
@@ -72,45 +73,73 @@ class Fec1213Result:
         return improvements
 
 
+def cells(
+    duration: float = 60.0,
+    seed: int = 1,
+    loss_percents: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+) -> list:
+    job_list = []
+    for loss_percent in loss_percents:
+        loss = loss_percent / 100.0
+        for fec_mode in (FecMode.CONVERGE, FecMode.WEBRTC_TABLE):
+            job_list.append(
+                make_cell(
+                    ConstantPaths(
+                        (15e6, 15e6), (0.05, 0.05), (loss, loss)
+                    ),
+                    SystemKind.CONVERGE,
+                    seed=seed,
+                    duration=duration,
+                    label=fec_mode.value,
+                    fec_mode=fec_mode,
+                )
+            )
+    return job_list
+
+
 def run(
     duration: float = 60.0,
     seed: int = 1,
     loss_percents: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
 ) -> Fec1213Result:
+    job_list = cells(duration, seed, loss_percents)
+    report = run_cells(job_list, jobs=jobs, cache=cache, progress=progress)
     points: List[FecSweepPoint] = []
-    for loss_percent in loss_percents:
-        loss = loss_percent / 100.0
-        for fec_mode in (FecMode.CONVERGE, FecMode.WEBRTC_TABLE):
-            paths = constant_paths(
-                [15e6, 15e6], [0.05, 0.05], [loss, loss]
+    loss_per_cell = [
+        loss_percent
+        for loss_percent in loss_percents
+        for _ in (FecMode.CONVERGE, FecMode.WEBRTC_TABLE)
+    ]
+    for loss_percent, summary in zip(loss_per_cell, results_of(report)):
+        points.append(
+            FecSweepPoint(
+                loss_percent=loss_percent,
+                fec_mode=summary.label,
+                fec_overhead=summary.fec_overhead,
+                fec_utilization=summary.fec_utilization,
+                throughput_bps=summary.throughput_bps,
+                e2e_mean=summary.e2e_mean,
+                frame_drops=summary.frame_drops,
+                freeze_total=summary.freeze_total,
+                keyframe_requests=summary.keyframe_requests,
             )
-            result = run_system(
-                SystemKind.CONVERGE,
-                paths,
-                duration=duration,
-                seed=seed,
-                fec_mode=fec_mode,
-                label=fec_mode.value,
-            )
-            summary = result.summary
-            points.append(
-                FecSweepPoint(
-                    loss_percent=loss_percent,
-                    fec_mode=fec_mode.value,
-                    fec_overhead=summary.fec_overhead,
-                    fec_utilization=summary.fec_utilization,
-                    throughput_bps=summary.throughput_bps,
-                    e2e_mean=summary.e2e_mean,
-                    frame_drops=summary.frame_drops,
-                    freeze_total=summary.freeze.total_duration,
-                    keyframe_requests=summary.keyframe_requests,
-                )
-            )
+        )
     return Fec1213Result(points=points)
 
 
-def main(duration: float = 60.0, seed: int = 1) -> str:
-    result = run(duration=duration, seed=seed)
+def main(
+    duration: float = 60.0,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> str:
+    result = run(
+        duration=duration, seed=seed, jobs=jobs, cache=cache, progress=progress
+    )
     fig12 = format_table(
         ["loss %", "FEC mode", "overhead %", "utilization %"],
         [

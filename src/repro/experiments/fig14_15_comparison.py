@@ -18,11 +18,23 @@ variants are qualitatively worse on E2E).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.config import SystemKind
-from repro.experiments.common import run_system, scenario_paths
+from repro.experiments.cells import ScenarioPaths, make_cell
+from repro.experiments.runner import results_of, run_cells
 from repro.metrics.report import format_table
+
+# The seven systems of §6, as (system, single_path_id, label).
+RUNS = (
+    (SystemKind.WEBRTC, 0, "webrtc-t"),
+    (SystemKind.WEBRTC, 1, "webrtc-v"),
+    (SystemKind.WEBRTC_CM, 0, "webrtc-cm"),
+    (SystemKind.SRTT, 0, None),
+    (SystemKind.MTPUT, 0, None),
+    (SystemKind.MRTP, 0, None),
+    (SystemKind.CONVERGE, 0, None),
+)
 
 
 @dataclass
@@ -49,53 +61,67 @@ class ComparisonResult:
         return {row.system: row for row in self.rows}
 
 
-def run(
+def cells(
     duration: float = 60.0, seed: int = 1, num_streams: int = 1
-) -> ComparisonResult:
-    paths = scenario_paths("driving", duration, seed)  # tmobile, verizon
-    runs = [
-        (SystemKind.WEBRTC, {"single_path_id": 0, "label": "webrtc-t"}),
-        (SystemKind.WEBRTC, {"single_path_id": 1, "label": "webrtc-v"}),
-        (SystemKind.WEBRTC_CM, {"single_path_id": 0, "label": "webrtc-cm"}),
-        (SystemKind.SRTT, {}),
-        (SystemKind.MTPUT, {}),
-        (SystemKind.MRTP, {}),
-        (SystemKind.CONVERGE, {}),
-    ]
-    rows: List[ComparisonRow] = []
-    for system, kwargs in runs:
-        result = run_system(
+) -> list:
+    spec = ScenarioPaths("driving")  # tmobile, verizon
+    return [
+        make_cell(
+            spec,
             system,
-            paths,
+            seed=seed,
             duration=duration,
             num_streams=num_streams,
-            seed=seed,
-            **kwargs,
+            single_path_id=single_path_id,
+            label=label,
         )
-        summary = result.summary
-        psnr = sorted(summary.psnr_samples)
-        p10 = psnr[int(0.1 * len(psnr))] if psnr else 0.0
+        for system, single_path_id, label in RUNS
+    ]
+
+
+def run(
+    duration: float = 60.0,
+    seed: int = 1,
+    num_streams: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> ComparisonResult:
+    report = run_cells(
+        cells(duration, seed, num_streams),
+        jobs=jobs, cache=cache, progress=progress,
+    )
+    rows: List[ComparisonRow] = []
+    for summary in results_of(report):
         rows.append(
             ComparisonRow(
-                system=result.label,
+                system=summary.label,
                 throughput_bps=summary.throughput_bps,
                 mean_fps=summary.average_fps,
-                stall_seconds=summary.freeze.total_duration,
+                stall_seconds=summary.freeze_total,
                 qp=summary.average_qp,
                 fec_overhead=summary.fec_overhead,
                 fec_utilization=summary.fec_utilization,
                 e2e_mean=summary.e2e_mean,
                 e2e_p95=summary.e2e_p95,
                 psnr_mean=summary.average_psnr,
-                psnr_p10=p10,
+                psnr_p10=summary.psnr_p10,
                 normalized=summary.normalized(),
             )
         )
     return ComparisonResult(rows=rows)
 
 
-def main(duration: float = 60.0, seed: int = 1) -> str:
-    result = run(duration=duration, seed=seed)
+def main(
+    duration: float = 60.0,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> str:
+    result = run(
+        duration=duration, seed=seed, jobs=jobs, cache=cache, progress=progress
+    )
     fig14a = format_table(
         ["system", "norm tput", "norm FPS", "stall frac", "norm QP"],
         [

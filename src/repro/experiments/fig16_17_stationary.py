@@ -10,10 +10,11 @@ and slightly higher E2E at high stream counts (it moves more bytes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SystemKind
-from repro.experiments.common import run_system, scenario_paths
+from repro.experiments.cells import ScenarioPaths, make_cell
+from repro.experiments.runner import results_of, run_cells
 from repro.metrics.report import format_table
 
 
@@ -36,50 +37,71 @@ class StationaryResult:
     rows: List[StationaryRow]
 
 
+def cells(
+    duration: float = 60.0,
+    seed: int = 1,
+    stream_counts: Sequence[int] = (1, 2, 3),
+) -> list:
+    spec = ScenarioPaths("stationary", networks=("wifi", "tmobile"))
+    runs = [
+        (SystemKind.WEBRTC, 0, "webrtc-w"),
+        (SystemKind.WEBRTC, 1, "webrtc-t"),
+        (SystemKind.CONVERGE, 0, "converge"),
+    ]
+    return [
+        make_cell(
+            spec,
+            system,
+            seed=seed,
+            duration=duration,
+            num_streams=num_streams,
+            single_path_id=single_path_id,
+            label=label,
+        )
+        for num_streams in stream_counts
+        for system, single_path_id, label in runs
+    ]
+
+
 def run(
     duration: float = 60.0,
     seed: int = 1,
     stream_counts: Sequence[int] = (1, 2, 3),
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
 ) -> StationaryResult:
+    job_list = cells(duration, seed, stream_counts)
+    report = run_cells(job_list, jobs=jobs, cache=cache, progress=progress)
     rows: List[StationaryRow] = []
-    for num_streams in stream_counts:
-        paths = scenario_paths(
-            "stationary", duration, seed, networks=("wifi", "tmobile")
+    for cell, summary in zip(job_list, results_of(report)):
+        rows.append(
+            StationaryRow(
+                system=summary.label,
+                num_streams=cell.num_streams,
+                throughput_bps=summary.throughput_bps,
+                mean_fps=summary.average_fps,
+                e2e_mean=summary.e2e_mean,
+                stall_seconds=summary.freeze_total,
+                fec_overhead=summary.fec_overhead,
+                fec_utilization=summary.fec_utilization,
+                qp=summary.average_qp,
+                normalized=summary.normalized(),
+            )
         )
-        runs = [
-            (SystemKind.WEBRTC, {"single_path_id": 0, "label": "webrtc-w"}),
-            (SystemKind.WEBRTC, {"single_path_id": 1, "label": "webrtc-t"}),
-            (SystemKind.CONVERGE, {"label": "converge"}),
-        ]
-        for system, kwargs in runs:
-            result = run_system(
-                system,
-                paths,
-                duration=duration,
-                num_streams=num_streams,
-                seed=seed,
-                **kwargs,
-            )
-            summary = result.summary
-            rows.append(
-                StationaryRow(
-                    system=result.label,
-                    num_streams=num_streams,
-                    throughput_bps=summary.throughput_bps,
-                    mean_fps=summary.average_fps,
-                    e2e_mean=summary.e2e_mean,
-                    stall_seconds=summary.freeze.total_duration,
-                    fec_overhead=summary.fec_overhead,
-                    fec_utilization=summary.fec_utilization,
-                    qp=summary.average_qp,
-                    normalized=summary.normalized(),
-                )
-            )
     return StationaryResult(rows=rows)
 
 
-def main(duration: float = 60.0, seed: int = 1) -> str:
-    result = run(duration=duration, seed=seed)
+def main(
+    duration: float = 60.0,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> str:
+    result = run(
+        duration=duration, seed=seed, jobs=jobs, cache=cache, progress=progress
+    )
     fig17 = format_table(
         ["#", "system", "norm tput", "norm FPS", "stall frac", "norm QP"],
         [

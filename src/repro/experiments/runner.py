@@ -1,0 +1,556 @@
+"""Process-pool experiment runner with result caching.
+
+Every paper figure reduces to a list of independent
+``(scenario × system × seed)`` :class:`~repro.experiments.cells.Cell`
+jobs.  This module executes such a list:
+
+- across ``jobs`` worker processes (default ``os.cpu_count()``), each
+  cell rebuilding its paths and re-seeding ``RandomStreams(seed)`` so
+  results are byte-identical to a serial run;
+- through a content-addressed on-disk cache
+  (:class:`~repro.experiments.cache.ResultCache`), so no cell is ever
+  simulated twice;
+- with failure isolation: a crashing cell yields a structured
+  :class:`CellOutcome` error instead of killing the sweep;
+- with per-cell progress lines and wall-clock/cache-hit statistics
+  (:class:`RunStats`) that the benchmarks export.
+
+Duplicate cells in the input are executed once and fanned back out, so
+experiment modules can express their natural grids without worrying
+about redundancy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.cells import Cell, canonical_json, cell_key
+
+# How many submitted-but-unfinished futures to keep per worker; bounds
+# the pickled backlog on huge sweeps without ever starving the pool.
+_MAX_PENDING_PER_WORKER = 4
+
+
+# ---------------------------------------------------------------------------
+# Cell summaries: what the cache stores and experiments consume
+
+
+class CellSummary:
+    """A JSON-able view of one finished call.
+
+    Wraps the flattened payload of
+    :func:`repro.analysis.export.result_to_dict` (plus the fps series
+    and PSNR samples) with the accessors the experiment modules use.
+    Whether the payload came from a fresh simulation, a worker process
+    or the cache is invisible here — the bytes are identical.
+    """
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        self.data = data
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        return self.data["label"]
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return self.data["config"]
+
+    @property
+    def summary(self) -> Dict[str, Any]:
+        return self.data["summary"]
+
+    # -- scalar QoE metrics -------------------------------------------------
+
+    @property
+    def frames_rendered(self) -> int:
+        return self.summary["frames_rendered"]
+
+    @property
+    def average_fps(self) -> float:
+        return self.summary["average_fps"]
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.summary["throughput_bps"]
+
+    @property
+    def e2e_mean(self) -> float:
+        return self.summary["e2e_mean"]
+
+    @property
+    def e2e_std(self) -> float:
+        return self.summary["e2e_std"]
+
+    @property
+    def e2e_p95(self) -> float:
+        return self.summary["e2e_p95"]
+
+    @property
+    def freeze_count(self) -> int:
+        return self.summary["freeze_count"]
+
+    @property
+    def freeze_total(self) -> float:
+        return self.summary["freeze_total"]
+
+    @property
+    def freeze_mean(self) -> float:
+        return self.summary["freeze_mean"]
+
+    @property
+    def average_qp(self) -> float:
+        return self.summary["average_qp"]
+
+    @property
+    def average_psnr(self) -> float:
+        return self.summary["average_psnr"]
+
+    @property
+    def psnr_samples(self) -> List[float]:
+        return self.summary["psnr_samples"]
+
+    @property
+    def psnr_p10(self) -> float:
+        samples = sorted(self.psnr_samples)
+        if not samples:
+            return 0.0
+        return samples[int(0.1 * len(samples))]
+
+    @property
+    def fec_overhead(self) -> float:
+        return self.summary["fec_overhead"]
+
+    @property
+    def fec_utilization(self) -> float:
+        return self.summary["fec_utilization"]
+
+    @property
+    def frame_drops(self) -> int:
+        return self.summary["frame_drops"]
+
+    @property
+    def keyframe_requests(self) -> int:
+        return self.summary["keyframe_requests"]
+
+    def normalized(
+        self,
+        max_rate_per_stream: float = 10_000_000.0,
+        target_fps: float = 24.0,
+        worst_qp: float = 60.0,
+    ) -> Dict[str, float]:
+        """Normalized QoE per §6 (mirrors ``QoeSummary.normalized``)."""
+        duration = self.config["duration"]
+        num_streams = self.config["num_streams"]
+        return {
+            "throughput": self.throughput_bps
+            / (max_rate_per_stream * num_streams),
+            "fps": self.average_fps / target_fps,
+            "stall": self.freeze_total / max(duration, 1e-9),
+            "qp": self.average_qp / worst_qp,
+        }
+
+    # -- time series ----------------------------------------------------------
+
+    def series(self, name: str) -> Dict[str, List[float]]:
+        return self.data["series"][name]
+
+    def series_pairs(self, name: str) -> List[tuple]:
+        data = self.series(name)
+        return list(zip(data["times"], data["values"]))
+
+    def series_values(self, name: str) -> List[float]:
+        return self.series(name)["values"]
+
+    def series_mean(self, name: str) -> float:
+        values = self.series_values(name)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    # -- faults ----------------------------------------------------------------
+
+    @property
+    def faults(self) -> Dict[str, Any]:
+        return self.data.get("faults", {"injected": [], "recovery": []})
+
+
+@dataclass
+class CellOutcome:
+    """The runner's verdict on one cell: a summary or a structured error."""
+
+    cell: Cell
+    key: str
+    summary: Optional[CellSummary] = None
+    error: Optional[Dict[str, str]] = None
+    cached: bool = False
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.summary is not None
+
+
+class CellFailure(RuntimeError):
+    """Raised by :func:`results_of` when a sweep cell errored."""
+
+    def __init__(self, outcome: CellOutcome) -> None:
+        error = outcome.error or {}
+        super().__init__(
+            f"cell {outcome.cell.effective_label!r} "
+            f"(seed {outcome.cell.seed}) failed: "
+            f"{error.get('type', 'Error')}: {error.get('message', '')}"
+        )
+        self.outcome = outcome
+
+
+@dataclass
+class RunStats:
+    """Wall-clock and cache accounting for one ``run_cells`` sweep."""
+
+    cells_total: int = 0
+    cells_unique: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    # Sum of simulated call time across unique cells (the work avoided
+    # by dedup/caching is cells_total*duration - this).
+    simulated_seconds: float = 0.0
+    # Sum of per-cell execution wall time (serial-equivalent cost).
+    executed_wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cells_unique == 0:
+            return 0.0
+        return self.cache_hits / self.cells_unique
+
+
+@dataclass
+class RunReport:
+    """Outcomes in input order plus the sweep statistics."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    stats: RunStats = field(default_factory=RunStats)
+
+    def summaries(self) -> List[Optional[CellSummary]]:
+        return [o.summary for o in self.outcomes]
+
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+
+def results_of(report: RunReport) -> List[CellSummary]:
+    """All summaries of a report, raising on the first failed cell.
+
+    Experiment modules use this: a sweep with a crashed cell should
+    fail loudly at the point of consumption, with the structured error
+    attached, not produce a figure with silent holes.
+    """
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            raise CellFailure(outcome)
+    return [o.summary for o in report.outcomes]  # type: ignore[misc]
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+
+
+def execute_cell(cell: Cell) -> Dict[str, Any]:
+    """Run one cell to completion; the module-level worker entry point.
+
+    Everything stochastic is derived from ``cell.seed`` inside this
+    function (paths, fault plans, the simulator's streams), so the
+    result depends only on the cell — the property the whole runner
+    rests on.  Returns the summary payload dict.
+    """
+    from repro.analysis.export import result_to_dict
+    from repro.core.api import build_call_config, run_call
+    from repro.faults.scenarios import build_chaos_plan
+
+    path_configs = cell.paths.build(cell.duration, cell.seed)
+    fault_plan = None
+    label = cell.label
+    if cell.chaos is not None:
+        fault_plan = build_chaos_plan(
+            cell.chaos, cell.duration, seed=cell.seed,
+            num_paths=len(path_configs),
+        )
+        if label is None:
+            label = f"{cell.system.value}+{cell.chaos}"
+    config = build_call_config(
+        cell.system,
+        duration=cell.duration,
+        num_streams=cell.num_streams,
+        seed=cell.seed,
+        single_path_id=cell.single_path_id,
+        label=label,
+        **cell.override_kwargs(),
+    )
+    result = run_call(config, path_configs, fault_plan=fault_plan)
+    return result_to_dict(result)
+
+
+def _execute_isolated(cell: Cell) -> Dict[str, Any]:
+    """Worker wrapper: convert any exception to a structured error.
+
+    Exceptions are flattened to plain data so the parent never has to
+    unpickle arbitrary exception types from a worker, and a poisoned
+    cell cannot break the pool.
+    """
+    start = time.perf_counter()
+    try:
+        payload = execute_cell(cell)
+        # Normalize through canonical JSON so a fresh result is the
+        # same object shape (lists, plain dicts) a cache hit yields —
+        # equality between serial, parallel and cached runs is then
+        # plain ``==`` on the payloads, not just on their encodings.
+        payload = json.loads(canonical_json(payload))
+        return {
+            "ok": True,
+            "summary": payload,
+            "wall_seconds": time.perf_counter() - start,
+        }
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        return {
+            "ok": False,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+            "wall_seconds": time.perf_counter() - start,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The orchestrator
+
+
+def default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(int(env), 1)
+    return os.cpu_count() or 1
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: Optional[int] = None,
+    cache: Union[ResultCache, str, os.PathLike, None] = None,
+    progress: bool = False,
+) -> RunReport:
+    """Execute ``cells``, fanning out across processes and the cache.
+
+    ``jobs`` — worker processes; ``None`` means ``os.cpu_count()``
+    (override with ``REPRO_JOBS``); ``1`` runs serially in-process
+    (identical results, no pool overhead).  ``cache`` — a
+    :class:`ResultCache`, a directory path, or ``None`` to disable
+    caching.  ``progress`` — emit one line per finished cell to stderr.
+
+    Returns a :class:`RunReport` with outcomes in input order.
+    """
+    start = time.perf_counter()
+    jobs = default_jobs() if jobs is None else max(int(jobs), 1)
+    store: Optional[ResultCache] = None
+    if cache is not None:
+        store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+
+    stats = RunStats(cells_total=len(cells), jobs=jobs)
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+
+    # Deduplicate: identical cells (by content key) run once.
+    positions: Dict[str, List[int]] = {}
+    unique: Dict[str, Cell] = {}
+    for index, cell in enumerate(cells):
+        key = cell_key(cell)
+        positions.setdefault(key, []).append(index)
+        unique.setdefault(key, cell)
+    stats.cells_unique = len(unique)
+    stats.simulated_seconds = sum(c.duration for c in unique.values())
+
+    done = 0
+
+    def finish(key: str, outcome: CellOutcome) -> None:
+        nonlocal done
+        done += 1
+        if outcome.ok:
+            if outcome.cached:
+                stats.cache_hits += 1
+            else:
+                stats.executed += 1
+        else:
+            stats.errors += 1
+        stats.executed_wall_seconds += outcome.wall_seconds
+        for index in positions[key]:
+            outcomes[index] = outcome
+        if progress:
+            _progress_line(done, len(unique), outcome)
+
+    # Cache pass: satisfy what we can without touching a worker.
+    pending: List[str] = []
+    for key, cell in unique.items():
+        entry = store.get(key) if store is not None else None
+        if entry is not None:
+            finish(
+                key,
+                CellOutcome(
+                    cell=cell,
+                    key=key,
+                    summary=CellSummary(entry.summary),
+                    cached=True,
+                    wall_seconds=0.0,
+                ),
+            )
+        else:
+            pending.append(key)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for key in pending:
+            finish(key, _run_one(unique[key], key, store))
+    else:
+        _run_pool(
+            [(key, unique[key]) for key in pending],
+            jobs,
+            store,
+            finish,
+        )
+
+    stats.wall_seconds = time.perf_counter() - start
+    report = RunReport(outcomes=[o for o in outcomes if o is not None], stats=stats)
+    if progress:
+        _stats_line(stats)
+    return report
+
+
+def _run_one(
+    cell: Cell, key: str, store: Optional[ResultCache]
+) -> CellOutcome:
+    """Execute one cell in-process (the serial path)."""
+    verdict = _execute_isolated(cell)
+    return _outcome_from_verdict(cell, key, verdict, store)
+
+
+def _outcome_from_verdict(
+    cell: Cell,
+    key: str,
+    verdict: Dict[str, Any],
+    store: Optional[ResultCache],
+) -> CellOutcome:
+    wall = verdict.get("wall_seconds", 0.0)
+    if verdict["ok"]:
+        summary = verdict["summary"]
+        if store is not None:
+            store.put(key, cell.resolved(), summary, wall)
+        return CellOutcome(
+            cell=cell,
+            key=key,
+            summary=CellSummary(summary),
+            cached=False,
+            wall_seconds=wall,
+        )
+    return CellOutcome(
+        cell=cell, key=key, error=verdict["error"], wall_seconds=wall
+    )
+
+
+def _run_pool(
+    items: Sequence[tuple],
+    jobs: int,
+    store: Optional[ResultCache],
+    finish,
+) -> None:
+    """Fan pending cells out over a process pool.
+
+    Submission is throttled (a bounded window per worker) so a
+    many-thousand-cell sweep does not pickle its entire job list up
+    front, and results are consumed as they complete so cache writes
+    and progress lines happen promptly.  A worker that dies outright
+    (e.g. OOM-killed) poisons only the cells in flight: they are
+    reported as structured errors and the sweep continues in a fresh
+    pool.
+    """
+    queue = list(items)
+    jobs = min(jobs, len(queue))
+    while queue:
+        crashed = False
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            window = max(jobs * _MAX_PENDING_PER_WORKER, jobs)
+            futures = {}
+            while queue or futures:
+                while queue and len(futures) < window and not crashed:
+                    key, cell = queue.pop(0)
+                    futures[pool.submit(_execute_isolated, cell)] = (key, cell)
+                if not futures:
+                    break
+                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    key, cell = futures.pop(future)
+                    try:
+                        verdict = future.result()
+                    except Exception as exc:  # BrokenProcessPool et al.
+                        crashed = True
+                        finish(
+                            key,
+                            CellOutcome(
+                                cell=cell,
+                                key=key,
+                                error={
+                                    "type": type(exc).__name__,
+                                    "message": str(exc),
+                                    "traceback": traceback.format_exc(),
+                                },
+                            ),
+                        )
+                        continue
+                    finish(key, _outcome_from_verdict(cell, key, verdict, store))
+                if crashed:
+                    # Drain in-flight work, then restart with a new pool
+                    # for whatever is left in the queue.
+                    break
+        if not crashed:
+            break
+
+
+# ---------------------------------------------------------------------------
+# Progress output
+
+
+def _progress_line(done: int, total: int, outcome: CellOutcome) -> None:
+    cell = outcome.cell
+    if outcome.ok:
+        status = "cached" if outcome.cached else f"{outcome.wall_seconds:.1f}s"
+    else:
+        error = outcome.error or {}
+        status = f"ERROR {error.get('type', '?')}: {error.get('message', '')}"
+    print(
+        f"[{done}/{total}] {cell.effective_label} "
+        f"seed={cell.seed} dur={cell.duration:g}s ... {status}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _stats_line(stats: RunStats) -> None:
+    print(
+        f"sweep: {stats.cells_total} cells ({stats.cells_unique} unique), "
+        f"{stats.executed} executed, {stats.cache_hits} cached "
+        f"({100 * stats.cache_hit_rate:.0f}%), {stats.errors} errors, "
+        f"{stats.wall_seconds:.1f}s wall on {stats.jobs} jobs "
+        f"({stats.executed_wall_seconds:.1f}s serial-equivalent)",
+        file=sys.stderr,
+        flush=True,
+    )

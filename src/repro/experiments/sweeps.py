@@ -8,16 +8,20 @@ choices the reproduction documents as load-bearing:
 - the loss-aversion weight in the Eq. 1 media split,
 - Gilbert-Elliott vs Bernoulli loss at equal average rate (burstiness
   is what separates the FEC controllers).
+
+Each sweep expands into runner cells, so the points execute in
+parallel and hit the result cache on re-runs.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.config import SystemKind
-from repro.experiments.common import constant_paths, run_system, scenario_paths
+from repro.experiments.cells import BuilderPaths, ScenarioPaths, make_cell
+from repro.experiments.common import constant_paths
+from repro.experiments.runner import results_of, run_cells
 from repro.metrics.report import format_table
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss
 from repro.receiver.packet_buffer import PacketBufferConfig
@@ -35,81 +39,111 @@ class SweepPoint:
     throughput_bps: float
 
 
+def loss_model_paths(
+    duration: float, kind: str = "bernoulli", rate: float = 0.02
+) -> list:
+    """Two constant 12 Mbps paths under the named loss process.
+
+    Referenced declaratively by :class:`BuilderPaths`, so the sweep's
+    cells stay hashable while carrying a stateful loss model.
+    """
+    paths = constant_paths([12e6, 12e6], [0.02, 0.03], [0.0, 0.0])
+    for config in paths:
+        if kind == "bernoulli":
+            config.loss_model = BernoulliLoss(rate)
+        elif kind == "gilbert-elliott":
+            config.loss_model = GilbertElliottLoss(
+                p_good_to_bad=rate * 0.1 / (0.2 - rate),
+                p_bad_to_good=0.1,
+                bad_loss=0.2,
+            )
+        else:
+            raise ValueError(f"unknown loss model kind: {kind!r}")
+    return paths
+
+
 def sweep_packet_buffer(
     duration: float = 45.0,
     seed: int = 1,
     capacities: Sequence[int] = (64, 256, 1024, 2048),
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
 ) -> List[SweepPoint]:
     """Smaller packet buffers evict more under multipath skew (§3.2)."""
-    points = []
-    paths = scenario_paths("driving", duration, seed)
-    for capacity in capacities:
-        receiver = ReceiverConfig(
-            packet_buffer=PacketBufferConfig(capacity_packets=capacity)
+    job_list = [
+        make_cell(
+            ScenarioPaths("driving"),
+            SystemKind.CONVERGE,
+            seed=seed,
+            duration=duration,
+            receiver=ReceiverConfig(
+                packet_buffer=PacketBufferConfig(capacity_packets=capacity)
+            ),
         )
-        summary = run_system(
-            SystemKind.CONVERGE, paths, duration=duration, seed=seed,
-            receiver=receiver,
-        ).summary
-        points.append(_point("packet_buffer", capacity, summary))
-    return points
+        for capacity in capacities
+    ]
+    report = run_cells(job_list, jobs=jobs, cache=cache, progress=progress)
+    return [
+        _point("packet_buffer", capacity, summary)
+        for capacity, summary in zip(capacities, results_of(report))
+    ]
 
 
 def sweep_playout_deadline(
     duration: float = 45.0,
     seed: int = 1,
     deadlines: Sequence[float] = (0.2, 0.4, 0.8, 1.6),
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
 ) -> List[SweepPoint]:
     """Tighter deadlines trade drops for interactivity."""
-    points = []
-    paths = scenario_paths("driving", duration, seed)
-    for deadline in deadlines:
-        receiver = ReceiverConfig(max_playout_latency=deadline)
-        summary = run_system(
-            SystemKind.CONVERGE, paths, duration=duration, seed=seed,
-            receiver=receiver,
-        ).summary
-        points.append(_point("playout_deadline", deadline, summary))
-    return points
+    job_list = [
+        make_cell(
+            ScenarioPaths("driving"),
+            SystemKind.CONVERGE,
+            seed=seed,
+            duration=duration,
+            receiver=ReceiverConfig(max_playout_latency=deadline),
+        )
+        for deadline in deadlines
+    ]
+    report = run_cells(job_list, jobs=jobs, cache=cache, progress=progress)
+    return [
+        _point("playout_deadline", deadline, summary)
+        for deadline, summary in zip(deadlines, results_of(report))
+    ]
 
 
 def sweep_loss_model(
     duration: float = 45.0,
     seed: int = 1,
     rate: float = 0.02,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
 ) -> List[SweepPoint]:
     """Bernoulli vs Gilbert-Elliott at the same long-run loss rate."""
-    points = []
-    for name, model_factory in (
-        ("bernoulli", lambda: BernoulliLoss(rate)),
-        (
-            "gilbert-elliott",
-            lambda: GilbertElliottLoss(
-                p_good_to_bad=rate * 0.1 / (0.2 - rate),
-                p_bad_to_good=0.1,
-                bad_loss=0.2,
+    kinds = ("bernoulli", "gilbert-elliott")
+    job_list = [
+        make_cell(
+            BuilderPaths(
+                "repro.experiments.sweeps:loss_model_paths",
+                (("kind", kind), ("rate", rate)),
             ),
-        ),
-    ):
-        paths = constant_paths([12e6, 12e6], [0.02, 0.03], [0.0, 0.0])
-        for config in paths:
-            config.loss_model = model_factory()
-        summary = run_system(
-            SystemKind.CONVERGE, paths, duration=duration, seed=seed,
-            label=name,
-        ).summary
-        points.append(
-            SweepPoint(
-                parameter="loss_model",
-                value=0.0 if name == "bernoulli" else 1.0,
-                fps=summary.average_fps,
-                e2e_mean=summary.e2e_mean,
-                frame_drops=summary.frame_drops,
-                freeze_total=summary.freeze.total_duration,
-                throughput_bps=summary.throughput_bps,
-            )
+            SystemKind.CONVERGE,
+            seed=seed,
+            duration=duration,
+            label=kind,
         )
-    return points
+        for kind in kinds
+    ]
+    report = run_cells(job_list, jobs=jobs, cache=cache, progress=progress)
+    return [
+        _point("loss_model", float(index), summary)
+        for index, summary in enumerate(results_of(report))
+    ]
 
 
 def _point(parameter: str, value: float, summary) -> SweepPoint:
@@ -119,17 +153,29 @@ def _point(parameter: str, value: float, summary) -> SweepPoint:
         fps=summary.average_fps,
         e2e_mean=summary.e2e_mean,
         frame_drops=summary.frame_drops,
-        freeze_total=summary.freeze.total_duration,
+        freeze_total=summary.freeze_total,
         throughput_bps=summary.throughput_bps,
     )
 
 
-def main(duration: float = 45.0, seed: int = 1) -> str:
+def main(
+    duration: float = 45.0,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
+    progress: bool = False,
+) -> str:
     rows = []
     for points in (
-        sweep_packet_buffer(duration, seed),
-        sweep_playout_deadline(duration, seed),
-        sweep_loss_model(duration, seed),
+        sweep_packet_buffer(
+            duration, seed, jobs=jobs, cache=cache, progress=progress
+        ),
+        sweep_playout_deadline(
+            duration, seed, jobs=jobs, cache=cache, progress=progress
+        ),
+        sweep_loss_model(
+            duration, seed, jobs=jobs, cache=cache, progress=progress
+        ),
     ):
         for p in points:
             rows.append(

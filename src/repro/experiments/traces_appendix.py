@@ -63,7 +63,15 @@ def run(duration: float = 180.0, seed: int = 1) -> TraceResult:
     return TraceResult(stats=stats)
 
 
-def main(duration: float = 180.0, seed: int = 1) -> str:
+def main(
+    duration: float = 180.0,
+    seed: int = 1,
+    jobs=None,
+    cache=None,
+    progress: bool = False,
+) -> str:
+    # Trace statistics are pure generation (no simulated calls), so the
+    # runner knobs are accepted for CLI uniformity and ignored.
     result = run(duration=duration, seed=seed)
     table = format_table(
         ["scenario", "network", "mean Mbps", "p10 Mbps", "min Mbps", "outage frac", "frac<10Mbps"],

@@ -98,6 +98,8 @@ def unpack_rtp_header(data: bytes) -> RtpWireHeader:
     profile, ext_words = struct.unpack("!HH", data[12:16])
     if profile != EXTENSION_PROFILE_ONE_BYTE:
         raise ValueError(f"unexpected extension profile: {profile:#x}")
+    if len(data) < 16 + 4 * ext_words:
+        raise ValueError("truncated RTP extension")
     elements = data[16 : 16 + 4 * ext_words]
     path_id = mp_seq = mp_transport_seq = -1
     offset = 0
@@ -109,6 +111,8 @@ def unpack_rtp_header(data: bytes) -> RtpWireHeader:
         ext_id = byte >> 4
         length = (byte & 0x0F) + 1
         payload = elements[offset + 1 : offset + 1 + length]
+        if len(payload) < length:
+            raise ValueError("truncated RTP extension element")
         if ext_id == EXT_ID_PATH:
             path_id = payload[0]
         elif ext_id == EXT_ID_MP_SEQ:
@@ -180,7 +184,7 @@ def unpack_rtcp_report(data: bytes) -> RtcpWireReport:
         cumulative_lost,
         ext_seq,
         ext_mp_seq,
-    ) = struct.unpack("!IIBI3xII", data[4:32])
+    ) = struct.unpack("!IIBI3xII", data[4:28])
     return RtcpWireReport(
         ssrc=ssrc,
         path_id=path_id,

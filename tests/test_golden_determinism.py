@@ -1,0 +1,138 @@
+"""Golden-summary determinism regression suite.
+
+One short driving cell per scheduler is pinned as a JSON fixture in
+``tests/goldens/``.  The test recomputes each cell and asserts the
+result is byte-identical — serially, across worker processes, and out
+of the cache — to the committed golden.  Any drift in simulation
+behaviour (intended or not) shows up here as a readable per-field
+diff before it silently shifts the paper's figures.
+
+Regenerate after an intended behaviour change with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_determinism.py
+
+and commit the updated fixtures (and bump
+``repro.experiments.cells.CODE_VERSION`` so stale caches die).
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import SystemKind
+from repro.experiments.cells import ScenarioPaths, canonical_json, make_cell
+from repro.experiments.runner import results_of, run_cells
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDENS") == "1"
+
+# One cell per scheduler; short enough to run in CI, long enough to
+# exercise scheduling, FEC, feedback and playout.
+SYSTEMS = (
+    SystemKind.CONVERGE,
+    SystemKind.MRTP,
+    SystemKind.MTPUT,
+    SystemKind.SRTT,
+    SystemKind.WEBRTC,
+)
+DURATION = 4.0
+SEED = 1
+
+
+def golden_cell(system: SystemKind):
+    return make_cell(
+        ScenarioPaths("driving"),
+        system,
+        seed=SEED,
+        duration=DURATION,
+    )
+
+
+def golden_path(system: SystemKind) -> Path:
+    return GOLDEN_DIR / f"{system.value.replace('/', '_')}.json"
+
+
+def golden_record(payload: dict) -> dict:
+    """What the fixture stores: the scalar summary, the shape of the
+    series, and a hash over the entire canonical payload.
+
+    The summary fields give a readable diff when behaviour drifts; the
+    hash catches drift anywhere else (series values, path accounting).
+    """
+    return {
+        "summary": payload["summary"],
+        "series_lengths": {
+            name: len(series["times"]) if isinstance(series, dict) and "times" in series
+            else len(series)
+            for name, series in payload["series"].items()
+        },
+        "payload_sha256": hashlib.sha256(
+            canonical_json(payload).encode("utf-8")
+        ).hexdigest(),
+    }
+
+
+@pytest.fixture(scope="module")
+def payloads(tmp_path_factory):
+    """Each golden cell computed three ways: serial, pooled, cached."""
+    cells = [golden_cell(system) for system in SYSTEMS]
+    cache_dir = tmp_path_factory.mktemp("golden-cache")
+    serial = [s.data for s in results_of(run_cells(cells, jobs=1))]
+    pooled = [
+        s.data
+        for s in results_of(run_cells(cells, jobs=2, cache=cache_dir))
+    ]
+    cached = [
+        s.data
+        for s in results_of(run_cells(cells, jobs=2, cache=cache_dir))
+    ]
+    return {"serial": serial, "pooled": pooled, "cached": cached}
+
+
+@pytest.mark.parametrize("index,system", list(enumerate(SYSTEMS)),
+                         ids=[s.value for s in SYSTEMS])
+class TestGoldenDeterminism:
+    def test_serial_pool_cache_identical(self, payloads, index, system):
+        serial = payloads["serial"][index]
+        pooled = payloads["pooled"][index]
+        cached = payloads["cached"][index]
+        # Readable diff first (pytest renders dict mismatches), then
+        # the byte-level guarantee.
+        assert serial["summary"] == pooled["summary"]
+        assert serial["summary"] == cached["summary"]
+        assert canonical_json(serial) == canonical_json(pooled)
+        assert canonical_json(serial) == canonical_json(cached)
+
+    def test_matches_golden(self, payloads, index, system):
+        record = golden_record(payloads["serial"][index])
+        path = golden_path(system)
+        if UPDATE:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(record, indent=2, sort_keys=True))
+            pytest.skip(f"regenerated {path.name}")
+        if not path.exists():
+            pytest.fail(
+                f"missing golden fixture {path}; generate with "
+                "REPRO_UPDATE_GOLDENS=1"
+            )
+        golden = json.loads(path.read_text())
+        # Field-by-field on the summary: the assertion message names
+        # exactly which QoE metric moved and by how much.
+        for field_name, expected in golden["summary"].items():
+            actual = record["summary"].get(field_name)
+            assert actual == expected, (
+                f"{system.value}: summary field {field_name!r} drifted: "
+                f"golden={expected!r} actual={actual!r} — if intended, "
+                "regenerate with REPRO_UPDATE_GOLDENS=1 and bump "
+                "CODE_VERSION"
+            )
+        assert record["series_lengths"] == golden["series_lengths"]
+        assert record["payload_sha256"] == golden["payload_sha256"], (
+            f"{system.value}: summary matches but the full payload hash "
+            "drifted (series or path accounting changed) — if intended, "
+            "regenerate with REPRO_UPDATE_GOLDENS=1 and bump CODE_VERSION"
+        )

@@ -1,0 +1,282 @@
+"""Tests for the parallel experiment runner and its result cache."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.core.config import FecMode, SystemKind
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.cells import (
+    CODE_VERSION,
+    BuilderPaths,
+    Cell,
+    ConstantPaths,
+    ScenarioPaths,
+    canonical_json,
+    canonicalize,
+    cell_key,
+    expand_grid,
+    make_cell,
+)
+from repro.experiments.runner import (
+    CellFailure,
+    CellSummary,
+    execute_cell,
+    results_of,
+    run_cells,
+)
+
+DURATION = 3.0
+
+
+def _cell(system=SystemKind.CONVERGE, seed=1, **overrides):
+    return make_cell(
+        ConstantPaths((8e6, 8e6), (0.02, 0.03), (0.01, 0.0)),
+        system,
+        seed=seed,
+        duration=DURATION,
+        **overrides,
+    )
+
+
+def broken_paths(duration):
+    raise RuntimeError("no such network")
+
+
+class TestCellKey:
+    def test_key_is_stable_across_processes(self):
+        # The key must not depend on dict ordering, object identity or
+        # PYTHONHASHSEED — only on the cell's content.
+        cell = _cell(fec_mode=FecMode.WEBRTC_TABLE)
+        clone = copy.deepcopy(cell)
+        assert cell_key(cell) == cell_key(clone)
+
+    def test_key_distinguishes_every_field(self):
+        base = _cell()
+        variants = [
+            _cell(seed=2),
+            _cell(system=SystemKind.SRTT),
+            _cell(fec_mode=FecMode.NONE),
+            make_cell(
+                ConstantPaths((8e6, 8e6), (0.02, 0.03), (0.01, 0.0)),
+                SystemKind.CONVERGE,
+                seed=1,
+                duration=DURATION + 1,
+            ),
+            make_cell(
+                ScenarioPaths("driving"),
+                SystemKind.CONVERGE,
+                seed=1,
+                duration=DURATION,
+            ),
+        ]
+        keys = {cell_key(c) for c in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_label_does_not_change_identity(self):
+        # A display label is presentation, but it changes the stored
+        # payload (result labels), so it is part of the cell identity.
+        assert cell_key(_cell(label="a")) != cell_key(_cell(label="b"))
+
+    def test_salt_env_invalidates(self, monkeypatch):
+        before = cell_key(_cell())
+        monkeypatch.setenv("REPRO_CACHE_SALT", "fresh")
+        assert cell_key(_cell()) != before
+
+    def test_canonicalize_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_overrides_accept_dict_form(self):
+        as_dict = Cell(
+            paths=ScenarioPaths("driving"),
+            overrides={"fec_mode": FecMode.NONE},
+        )
+        as_tuple = _cell()
+        assert as_dict.override_kwargs() == {"fec_mode": FecMode.NONE}
+        assert as_tuple.override_kwargs() == {}
+
+    def test_cell_validation(self):
+        with pytest.raises(ValueError):
+            make_cell(ScenarioPaths("driving"), SystemKind.CONVERGE,
+                      duration=0.0)
+        with pytest.raises(ValueError):
+            make_cell(ScenarioPaths("driving"), SystemKind.CONVERGE,
+                      num_streams=0)
+
+    def test_builder_paths_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            BuilderPaths("no-colon-here").build(1.0, 1)
+
+
+class TestExpandGrid:
+    def test_deterministic_order(self):
+        grid = expand_grid(
+            [ScenarioPaths("driving"), ScenarioPaths("walking")],
+            [SystemKind.CONVERGE, SystemKind.SRTT],
+            [1, 2],
+            duration=DURATION,
+        )
+        assert len(grid) == 8
+        assert [c.seed for c in grid[:2]] == [1, 2]
+        assert grid[0].system is SystemKind.CONVERGE
+        assert grid[2].system is SystemKind.SRTT
+        assert grid[0].paths.scenario == "driving"
+        assert grid[4].paths.scenario == "walking"
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        store = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        store.put(key, {"system": "converge"}, {"x": 1.5}, 0.25)
+        entry = store.get(key)
+        assert entry is not None
+        assert entry.summary == {"x": 1.5}
+        assert entry.code_version == CODE_VERSION
+        assert entry.wall_seconds == 0.25
+        assert len(store) == 1
+
+    def test_miss_and_torn_file(self, tmp_path):
+        store = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        assert store.get(key) is None
+        target = store.path_for(key)
+        target.parent.mkdir(parents=True)
+        target.write_text('{"key": "cd00", "summ')  # torn write
+        assert store.get(key) is None
+
+    def test_wrong_key_field_is_a_miss(self, tmp_path):
+        store = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        target = store.path_for(key)
+        target.parent.mkdir(parents=True)
+        target.write_text(json.dumps({"key": "other", "summary": {}}))
+        assert store.get(key) is None
+
+    def test_ls_and_clear(self, tmp_path):
+        store = ResultCache(tmp_path)
+        for head in ("aa", "bb"):
+            store.put(
+                head + "0" * 62,
+                {"system": "srtt", "label": None, "seed": 3,
+                 "duration": 4.0},
+                {},
+                0.1,
+            )
+        rows = store.ls()
+        assert len(rows) == 2
+        assert rows[0]["system"] == "srtt"
+        assert rows[0]["label"] == "srtt"  # falls back to system
+        assert not rows[0]["stale"]
+        assert store.size_bytes() > 0
+        assert store.clear() == 2
+        assert store.ls() == []
+        assert store.clear() == 0
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+
+
+class TestRunCells:
+    def test_serial_parallel_and_cached_are_identical(self, tmp_path):
+        cells = [
+            _cell(system=system, seed=seed)
+            for system in (SystemKind.CONVERGE, SystemKind.SRTT)
+            for seed in (1, 2)
+        ]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2, cache=tmp_path / "cache")
+        cached = run_cells(cells, jobs=2, cache=tmp_path / "cache")
+        serial_data = [s.data for s in results_of(serial)]
+        parallel_data = [s.data for s in results_of(parallel)]
+        cached_data = [s.data for s in results_of(cached)]
+        assert serial_data == parallel_data
+        assert serial_data == cached_data
+        # And byte-for-byte through the canonical encoding.
+        assert [canonical_json(d) for d in serial_data] == [
+            canonical_json(d) for d in cached_data
+        ]
+
+    def test_cache_reuse_rate(self, tmp_path):
+        cells = [_cell(seed=seed) for seed in (1, 2, 3)]
+        first = run_cells(cells, jobs=1, cache=tmp_path)
+        assert first.stats.executed == 3
+        assert first.stats.cache_hits == 0
+        second = run_cells(cells, jobs=1, cache=tmp_path)
+        assert second.stats.executed == 0
+        assert second.stats.cache_hit_rate >= 0.9
+        assert second.stats.cache_hits == 3
+
+    def test_duplicate_cells_run_once(self):
+        cell = _cell()
+        report = run_cells([cell, cell, cell], jobs=1)
+        assert report.stats.cells_total == 3
+        assert report.stats.cells_unique == 1
+        assert report.stats.executed == 1
+        data = [s.data for s in results_of(report)]
+        assert data[0] == data[1] == data[2]
+
+    def test_failure_is_isolated(self):
+        bad = make_cell(
+            BuilderPaths("tests.test_runner:broken_paths"),
+            SystemKind.CONVERGE,
+            seed=1,
+            duration=DURATION,
+        )
+        good = _cell()
+        report = run_cells([bad, good], jobs=1)
+        assert not report.outcomes[0].ok
+        assert report.outcomes[0].error["type"] == "RuntimeError"
+        assert "no such network" in report.outcomes[0].error["message"]
+        assert report.outcomes[1].ok
+        assert report.stats.errors == 1
+        assert report.stats.executed == 1
+        with pytest.raises(CellFailure) as exc_info:
+            results_of(report)
+        assert "RuntimeError" in str(exc_info.value)
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        bad = make_cell(
+            BuilderPaths("tests.test_runner:broken_paths"),
+            SystemKind.CONVERGE,
+            seed=1,
+            duration=DURATION,
+        )
+        run_cells([bad], jobs=1, cache=tmp_path)
+        assert len(ResultCache(tmp_path)) == 0
+        report = run_cells([bad], jobs=1, cache=tmp_path)
+        assert report.stats.cache_hits == 0
+
+    def test_progress_lines(self, tmp_path, capsys):
+        run_cells([_cell()], jobs=1, cache=tmp_path, progress=True)
+        err = capsys.readouterr().err
+        assert "[1/1]" in err
+        assert "sweep:" in err
+
+    def test_jobs_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        report = run_cells([_cell()], jobs=None)
+        assert report.stats.jobs == 3
+
+    def test_summary_accessors(self):
+        summary = results_of(run_cells([_cell(seed=5)], jobs=1))[0]
+        assert summary.config["seed"] == 5
+        assert summary.frames_rendered >= 0
+        assert summary.average_fps >= 0
+        assert len(summary.series_values("fps")) == int(DURATION)
+        norm = summary.normalized()
+        assert set(norm) == {"throughput", "fps", "stall", "qp"}
+        assert isinstance(summary.psnr_p10, float)
+
+    def test_execute_cell_matches_runner(self):
+        cell = _cell(seed=7)
+        direct = json.loads(canonical_json(execute_cell(cell)))
+        via_runner = results_of(run_cells([cell], jobs=1))[0].data
+        assert direct == via_runner

@@ -1,0 +1,337 @@
+"""Round-trip fuzz tests for the wire formats (hypothesis).
+
+Two guarantees, fuzzed over the whole input space instead of
+hand-picked examples:
+
+- *Round-trip*: any valid message survives encode -> decode with every
+  integer field exact and every quantized field (arrival times, FCD,
+  frame rate) within its documented tick;
+- *Robustness*: truncating a valid packet at any byte raises
+  ``ValueError`` — the parsers face the network and must never surface
+  ``struct.error`` or ``IndexError``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtp import rtcp_wire, serialization
+from repro.rtp.rtcp import (
+    KeyframeRequest,
+    Nack,
+    QoeFeedback,
+    SdesFrameRate,
+    TransportFeedback,
+)
+from repro.rtp.serialization import (
+    RtcpWireReport,
+    RtpWireHeader,
+    pack_rtcp_report,
+    pack_rtp_header,
+    unpack_rtcp_report,
+    unpack_rtp_header,
+)
+
+ssrc_strategy = st.integers(min_value=0, max_value=(1 << 32) - 1)
+path_id_strategy = st.integers(min_value=0, max_value=7)
+
+# -- RTCP message strategies ------------------------------------------------
+
+
+@st.composite
+def transport_feedback_strategy(draw):
+    base_seq = draw(st.integers(min_value=0, max_value=1 << 20))
+    deltas = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=0, max_size=20, unique=True,
+        )
+    )
+    packets = [
+        (
+            base_seq + delta,
+            draw(st.integers(min_value=0, max_value=4_000_000))
+            * rtcp_wire._ARRIVAL_TICK,
+        )
+        for delta in deltas
+    ]
+    return TransportFeedback(
+        ssrc=draw(ssrc_strategy),
+        path_id=draw(path_id_strategy),
+        packets=packets,
+    )
+
+
+@st.composite
+def nack_strategy(draw):
+    return Nack(
+        ssrc=draw(ssrc_strategy),
+        path_id=draw(path_id_strategy),
+        seqs=draw(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << 16) - 1),
+                min_size=0, max_size=30,
+            )
+        ),
+    )
+
+
+@st.composite
+def keyframe_request_strategy(draw):
+    return KeyframeRequest(
+        ssrc=draw(ssrc_strategy),
+        path_id=draw(path_id_strategy),
+        frame_id=draw(
+            st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+        ),
+    )
+
+
+@st.composite
+def sdes_frame_rate_strategy(draw):
+    # Quantized to 1/256 fps on the wire; generate on-grid values so
+    # the round-trip is exact (off-grid error is bounded by the tick).
+    return SdesFrameRate(
+        ssrc=draw(ssrc_strategy),
+        path_id=draw(path_id_strategy),
+        frame_rate=draw(st.integers(min_value=0, max_value=120 * 256)) / 256,
+    )
+
+
+@st.composite
+def qoe_feedback_strategy(draw):
+    return QoeFeedback(
+        ssrc=draw(ssrc_strategy),
+        path_id=draw(path_id_strategy),
+        alpha=draw(
+            st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+        ),
+        fcd=draw(st.integers(min_value=0, max_value=10_000))
+        * rtcp_wire._FCD_TICK,
+    )
+
+
+any_message_strategy = st.one_of(
+    transport_feedback_strategy(),
+    nack_strategy(),
+    keyframe_request_strategy(),
+    sdes_frame_rate_strategy(),
+    qoe_feedback_strategy(),
+)
+
+
+class TestRtcpRoundTrip:
+    @given(message=transport_feedback_strategy())
+    @settings(max_examples=120)
+    def test_transport_feedback(self, message):
+        decoded = rtcp_wire.unpack_message(
+            rtcp_wire.pack_transport_feedback(message)
+        )
+        assert isinstance(decoded, TransportFeedback)
+        assert decoded.ssrc == message.ssrc
+        assert decoded.path_id == message.path_id
+        expected = sorted(message.packets)
+        assert len(decoded.packets) == len(expected)
+        for (seq, arrival), (exp_seq, exp_arrival) in zip(
+            decoded.packets, expected
+        ):
+            assert seq == exp_seq
+            # Base-time truncation plus delta rounding: two ticks max.
+            assert abs(arrival - exp_arrival) <= 2 * rtcp_wire._ARRIVAL_TICK
+
+    @given(message=nack_strategy())
+    @settings(max_examples=120)
+    def test_nack(self, message):
+        decoded = rtcp_wire.unpack_message(rtcp_wire.pack_nack(message))
+        assert isinstance(decoded, Nack)
+        assert decoded.ssrc == message.ssrc
+        assert decoded.path_id == message.path_id
+        # The wire form is a set: duplicates collapse, order is lost.
+        assert sorted(decoded.seqs) == sorted(set(message.seqs))
+
+    @given(message=keyframe_request_strategy())
+    @settings(max_examples=60)
+    def test_keyframe_request(self, message):
+        decoded = rtcp_wire.unpack_message(
+            rtcp_wire.pack_keyframe_request(message)
+        )
+        assert isinstance(decoded, KeyframeRequest)
+        assert (decoded.ssrc, decoded.path_id, decoded.frame_id) == (
+            message.ssrc, message.path_id, message.frame_id,
+        )
+
+    @given(message=sdes_frame_rate_strategy())
+    @settings(max_examples=60)
+    def test_sdes_frame_rate(self, message):
+        decoded = rtcp_wire.unpack_message(
+            rtcp_wire.pack_sdes_frame_rate(message)
+        )
+        assert isinstance(decoded, SdesFrameRate)
+        assert decoded.frame_rate == message.frame_rate
+
+    @given(message=qoe_feedback_strategy())
+    @settings(max_examples=120)
+    def test_qoe_feedback(self, message):
+        decoded = rtcp_wire.unpack_message(
+            rtcp_wire.pack_qoe_feedback(message)
+        )
+        assert isinstance(decoded, QoeFeedback)
+        assert decoded.alpha == message.alpha
+        assert math.isclose(
+            decoded.fcd, message.fcd, abs_tol=rtcp_wire._FCD_TICK
+        )
+
+    @given(
+        messages=st.lists(any_message_strategy, min_size=1, max_size=6)
+    )
+    @settings(max_examples=60)
+    def test_compound_preserves_order_and_types(self, messages):
+        decoded = rtcp_wire.unpack_compound(
+            rtcp_wire.pack_compound(messages)
+        )
+        assert [type(m) for m in decoded] == [type(m) for m in messages]
+        assert [(m.ssrc, m.path_id) for m in decoded] == [
+            (m.ssrc, m.path_id) for m in messages
+        ]
+
+
+class TestRtcpTruncation:
+    @given(message=any_message_strategy, data=st.data())
+    @settings(max_examples=150)
+    def test_any_truncation_raises_value_error(self, message, data):
+        packet = rtcp_wire.pack_message(message)
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(packet) - 1),
+            label="cut",
+        )
+        with pytest.raises(ValueError):
+            rtcp_wire.unpack_message(packet[:cut])
+
+    @given(message=any_message_strategy, data=st.data())
+    @settings(max_examples=80)
+    def test_truncated_compound_raises(self, message, data):
+        packet = rtcp_wire.pack_compound([message, message])
+        boundary = len(rtcp_wire.pack_message(message))
+        cut = data.draw(
+            st.integers(min_value=1, max_value=len(packet) - 1),
+            label="cut",
+        )
+        if cut == boundary:
+            # Cutting exactly between the two messages leaves a valid
+            # one-message compound — the framing cannot know a second
+            # message was intended.
+            decoded = rtcp_wire.unpack_compound(packet[:cut])
+            assert len(decoded) == 1
+        else:
+            with pytest.raises(ValueError):
+                rtcp_wire.unpack_compound(packet[:cut])
+
+    @given(junk=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=120)
+    def test_random_junk_never_escapes_value_error(self, junk):
+        # Whatever the bytes, the parser either returns a message or
+        # raises ValueError — nothing else.
+        try:
+            rtcp_wire.unpack_message(junk)
+        except ValueError:
+            pass
+
+
+# -- Fig. 18 RTP header / Fig. 19 RTCP report -------------------------------
+
+
+@st.composite
+def rtp_header_strategy(draw):
+    return RtpWireHeader(
+        seq=draw(st.integers(min_value=0, max_value=(1 << 16) - 1)),
+        timestamp=draw(st.integers(min_value=0, max_value=(1 << 32) - 1)),
+        ssrc=draw(ssrc_strategy),
+        marker=draw(st.booleans()),
+        payload_type=draw(st.integers(min_value=0, max_value=127)),
+        path_id=draw(st.integers(min_value=0, max_value=255)),
+        mp_seq=draw(st.integers(min_value=0, max_value=(1 << 16) - 1)),
+        mp_transport_seq=draw(
+            st.integers(min_value=0, max_value=(1 << 16) - 1)
+        ),
+    )
+
+
+@st.composite
+def rtcp_report_strategy(draw):
+    return RtcpWireReport(
+        ssrc=draw(ssrc_strategy),
+        path_id=draw(st.integers(min_value=0, max_value=(1 << 31) - 1)),
+        fraction_lost=draw(st.integers(min_value=0, max_value=255)) / 255,
+        cumulative_lost=draw(
+            st.integers(min_value=0, max_value=(1 << 32) - 1)
+        ),
+        extended_highest_seq=draw(
+            st.integers(min_value=0, max_value=(1 << 32) - 1)
+        ),
+        extended_highest_mp_seq=draw(
+            st.integers(min_value=0, max_value=(1 << 32) - 1)
+        ),
+    )
+
+
+class TestRtpHeaderRoundTrip:
+    @given(header=rtp_header_strategy())
+    @settings(max_examples=150)
+    def test_round_trip_is_exact(self, header):
+        decoded = unpack_rtp_header(pack_rtp_header(header))
+        assert decoded == header
+
+    @given(header=rtp_header_strategy(), data=st.data())
+    @settings(max_examples=120)
+    def test_truncation_raises_value_error(self, header, data):
+        packet = pack_rtp_header(header)
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(packet) - 1),
+            label="cut",
+        )
+        with pytest.raises(ValueError):
+            unpack_rtp_header(packet[:cut])
+
+    def test_out_of_range_fields_rejected_at_pack(self):
+        base = RtpWireHeader(
+            seq=0, timestamp=0, ssrc=1, marker=False, payload_type=96,
+            path_id=0, mp_seq=0, mp_transport_seq=0,
+        )
+        for field_name, value in (
+            ("seq", 1 << 16),
+            ("mp_seq", -1),
+            ("mp_transport_seq", 1 << 16),
+            ("path_id", 256),
+        ):
+            bad = RtpWireHeader(**{**base.__dict__, field_name: value})
+            with pytest.raises(ValueError):
+                pack_rtp_header(bad)
+
+
+class TestRtcpReportRoundTrip:
+    @given(report=rtcp_report_strategy())
+    @settings(max_examples=150)
+    def test_round_trip(self, report):
+        decoded = unpack_rtcp_report(pack_rtcp_report(report))
+        assert decoded.ssrc == report.ssrc
+        assert decoded.path_id == report.path_id
+        assert decoded.cumulative_lost == report.cumulative_lost
+        assert decoded.extended_highest_seq == report.extended_highest_seq
+        assert (
+            decoded.extended_highest_mp_seq == report.extended_highest_mp_seq
+        )
+        # fraction_lost is generated on the u8 grid, so it is exact.
+        assert decoded.fraction_lost == report.fraction_lost
+
+    @given(report=rtcp_report_strategy(), data=st.data())
+    @settings(max_examples=100)
+    def test_truncation_raises_value_error(self, report, data):
+        packet = pack_rtcp_report(report)
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(packet) - 1),
+            label="cut",
+        )
+        with pytest.raises(ValueError):
+            unpack_rtcp_report(packet[:cut])

@@ -1,0 +1,130 @@
+"""Microbenchmark: raw simulation-core throughput per scheduler.
+
+Runs one representative cell per scheduler (the driving scenario, the
+same cell family the golden fixtures pin) straight through
+:class:`~repro.core.session.ConferenceCall` — no runner, no cache, no
+serialization — and emits ``BENCH_simcore.json`` at the repo root with
+events/sec and sim-seconds-per-wall-second for each system.
+
+Methodology: paths and config are built *outside* the timed region,
+one un-timed warm-up call precedes measurement, and each system
+reports its best of ``REPRO_SIMCORE_ROUNDS`` runs (event counts are
+deterministic per cell; only wall time varies).  ``_BASELINE`` holds
+the same measurement taken at the pre-optimization commit on the
+development machine, so the emitted ``speedup_vs_baseline`` tracks
+the event-loop fast path; on other hardware the ratio still holds
+approximately because numerator and denominator move together.
+
+Knobs (environment): ``REPRO_SIMCORE_DURATION`` (simulated seconds per
+cell, default 12), ``REPRO_SIMCORE_ROUNDS`` (default 5),
+``REPRO_BENCH_SEED``, ``REPRO_BENCH_OUT`` (output directory).
+"""
+
+import json
+import os
+from time import perf_counter
+from pathlib import Path
+
+from repro.core.api import build_call_config, build_scheduler
+from repro.core.config import SystemKind
+from repro.core.session import ConferenceCall
+from repro.experiments.common import scenario_paths
+from repro.metrics.report import format_table
+
+_SYSTEMS = ("converge", "webrtc", "srtt", "m-tput", "m-rtp")
+_SCENARIO = "driving"
+
+# Pre-optimization wall seconds for this exact benchmark (12 simulated
+# seconds, seed 1, best of 3 after warm-up) measured at commit c822ffa,
+# immediately before the simulation-core fast path landed.
+_BASELINE = {
+    "duration": 12.0,
+    "seed": 1,
+    "commit": "c822ffa",
+    "wall_seconds": {
+        "converge": 0.4641,
+        "m-rtp": 0.7428,
+        "m-tput": 0.6067,
+        "srtt": 0.3660,
+        "webrtc": 0.3703,
+    },
+}
+
+
+def _run_once(kind: str, duration: float, seed: int):
+    """One timed call; returns (wall_seconds, events_dispatched)."""
+    paths = scenario_paths(_SCENARIO, duration, seed)
+    config = build_call_config(
+        SystemKind(kind), duration=duration, seed=seed
+    )
+    scheduler = build_scheduler(config)
+    call = ConferenceCall(config, paths, scheduler)
+    start = perf_counter()
+    call.run()
+    return perf_counter() - start, call.sim.events_dispatched
+
+
+def test_bench_simcore(bench_seed):
+    duration = float(os.environ.get("REPRO_SIMCORE_DURATION", 12.0))
+    rounds = int(os.environ.get("REPRO_SIMCORE_ROUNDS", 5))
+
+    _run_once("converge", duration, bench_seed)  # warm-up, untimed
+
+    systems = {}
+    rows = []
+    for kind in _SYSTEMS:
+        best_wall = float("inf")
+        events = 0
+        for _ in range(max(rounds, 1)):
+            wall, events = _run_once(kind, duration, bench_seed)
+            if wall < best_wall:
+                best_wall = wall
+        assert events > 0
+        baseline_wall = (
+            _BASELINE["wall_seconds"].get(kind)
+            if duration == _BASELINE["duration"]
+            and bench_seed == _BASELINE["seed"]
+            else None
+        )
+        speedup = baseline_wall / best_wall if baseline_wall else None
+        systems[kind] = {
+            "events": events,
+            "wall_seconds": best_wall,
+            "events_per_second": events / best_wall,
+            "sim_seconds_per_wall_second": duration / best_wall,
+            "speedup_vs_baseline": speedup,
+        }
+        rows.append(
+            [
+                kind,
+                events,
+                f"{events / best_wall:,.0f}",
+                f"{duration / best_wall:.1f}",
+                f"{speedup:.2f}x" if speedup else "-",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["system", "events", "events/s", "sim-s per wall-s",
+             "vs baseline"],
+            rows,
+        )
+    )
+
+    out_dir = Path(
+        os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent.parent)
+    )
+    payload = {
+        "benchmark": "simcore",
+        "scenario": _SCENARIO,
+        "duration": duration,
+        "seed": bench_seed,
+        "rounds": rounds,
+        "baseline": _BASELINE,
+        "systems": systems,
+    }
+    target = out_dir / "BENCH_simcore.json"
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {target}")

@@ -57,10 +57,10 @@ class TrendlineEstimator:
             return self.trend
         if send_time - self._group_first_send <= _BURST_WINDOW:
             # Same burst group: extend it.
-            self._group_last_send = max(self._group_last_send, send_time)
-            self._group_last_arrival = max(
-                self._group_last_arrival, arrival_time
-            )
+            if send_time > self._group_last_send:
+                self._group_last_send = send_time
+            if arrival_time > self._group_last_arrival:
+                self._group_last_arrival = arrival_time
             return self.trend
         self._close_group()
         self._start_group(send_time, arrival_time)
@@ -96,13 +96,24 @@ class TrendlineEstimator:
         self._prev_group = group
 
     def _linear_fit_slope(self) -> float:
-        n = len(self._history)
-        mean_x = sum(x for x, _ in self._history) / n
-        mean_y = sum(y for _, y in self._history) / n
-        numerator = sum(
-            (x - mean_x) * (y - mean_y) for x, y in self._history
-        )
-        denominator = sum((x - mean_x) ** 2 for x, _ in self._history)
+        # Two explicit passes instead of four generator-expression
+        # sums; per-term accumulation order is unchanged, so the float
+        # results are bit-identical.
+        history = self._history
+        n = len(history)
+        sum_x = 0.0
+        sum_y = 0.0
+        for x, y in history:
+            sum_x += x
+            sum_y += y
+        mean_x = sum_x / n
+        mean_y = sum_y / n
+        numerator = 0.0
+        denominator = 0.0
+        for x, y in history:
+            dx = x - mean_x
+            numerator += dx * (y - mean_y)
+            denominator += dx ** 2
         if denominator == 0:
             return 0.0
         return numerator / denominator
@@ -121,7 +132,7 @@ class OveruseDetector:
     def detect(self, trend: float, now: float, num_samples: int) -> BandwidthUsage:
         """Classify the current trend measured at time ``now``."""
         modified_trend = (
-            min(num_samples, 60) * trend * _THRESHOLD_GAIN
+            (num_samples if num_samples < 60 else 60) * trend * _THRESHOLD_GAIN
         )
         if modified_trend > self._threshold_ms:
             if self._overuse_start is None:
@@ -143,15 +154,21 @@ class OveruseDetector:
     def _adapt_threshold(self, modified_trend: float, now: float) -> None:
         if self._last_update is None:
             self._last_update = now
-        if abs(modified_trend) > self._threshold_ms + _MAX_ADAPT_OFFSET:
+        magnitude = abs(modified_trend)
+        threshold = self._threshold_ms
+        if magnitude > threshold + _MAX_ADAPT_OFFSET:
             self._last_update = now
             return
-        k = _K_DOWN if abs(modified_trend) < self._threshold_ms else _K_UP
-        elapsed_ms = min((now - self._last_update) * 1000.0, 100.0)
-        self._threshold_ms += (
-            k * (abs(modified_trend) - self._threshold_ms) * elapsed_ms
-        )
-        self._threshold_ms = min(max(self._threshold_ms, 6.0), 600.0)
+        k = _K_DOWN if magnitude < threshold else _K_UP
+        elapsed_ms = (now - self._last_update) * 1000.0
+        if elapsed_ms > 100.0:
+            elapsed_ms = 100.0
+        threshold += k * (magnitude - threshold) * elapsed_ms
+        if threshold < 6.0:
+            threshold = 6.0
+        elif threshold > 600.0:
+            threshold = 600.0
+        self._threshold_ms = threshold
         self._last_update = now
 
     @property

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Deque, List, Tuple
 
 from repro.cc.aimd import AimdRateController, BandwidthUsage
@@ -52,6 +53,10 @@ class GoogleCongestionControl:
         )
         self._acked: Deque[Tuple[float, int]] = deque()  # (arrival, bytes)
         self._sent_acked: Deque[Tuple[float, int]] = deque()  # (send, bytes)
+        # Running byte totals of the two windows above (exact — packet
+        # sizes are ints), replacing an O(window) sum() per feedback.
+        self._acked_bytes = 0
+        self._sent_acked_bytes = 0
         self._num_samples = 0
         self.srtt = 0.1
         self.min_rtt = float("inf")
@@ -75,14 +80,18 @@ class GoogleCongestionControl:
         """
         usage = BandwidthUsage.NORMAL
         latest_send = None
+        trendline = self._trendline
+        detect = self._detector.detect
+        acked_append = self._acked.append
+        sent_append = self._sent_acked.append
         for send_time, arrival_time, size in acked:
             self._num_samples += 1
-            trend = self._trendline.update(send_time, arrival_time)
-            usage = self._detector.detect(
-                trend, arrival_time, self._trendline.num_groups
-            )
-            self._acked.append((arrival_time, size))
-            self._sent_acked.append((send_time, size))
+            trend = trendline.update(send_time, arrival_time)
+            usage = detect(trend, arrival_time, trendline.num_groups)
+            acked_append((arrival_time, size))
+            self._acked_bytes += size
+            sent_append((send_time, size))
+            self._sent_acked_bytes += size
             latest_send = send_time
         self._trim_rate_window(now)
         self.incoming_rate = self._compute_incoming_rate(now)
@@ -139,10 +148,13 @@ class GoogleCongestionControl:
     # -- internals ---------------------------------------------------------
 
     def _trim_rate_window(self, now: float) -> None:
-        while self._acked and self._acked[0][0] < now - _RATE_WINDOW:
-            self._acked.popleft()
-        while self._sent_acked and self._sent_acked[0][0] < now - _RATE_WINDOW:
-            self._sent_acked.popleft()
+        horizon = now - _RATE_WINDOW
+        acked = self._acked
+        while acked and acked[0][0] < horizon:
+            self._acked_bytes -= acked.popleft()[1]
+        sent = self._sent_acked
+        while sent and sent[0][0] < horizon:
+            self._sent_acked_bytes -= sent.popleft()[1]
 
     def _apply_burst_capacity_estimate(
         self, acked: List[Tuple[float, float, int]]
@@ -158,7 +170,7 @@ class GoogleCongestionControl:
         """
         run: List[Tuple[float, float, int]] = []
         best_estimate = 0.0
-        ordered = sorted(acked, key=lambda item: item[0])
+        ordered = sorted(acked, key=itemgetter(0))
 
         def flush(current_run: List[Tuple[float, float, int]]) -> float:
             if len(current_run) < _PROBE_MIN_PACKETS:
@@ -188,7 +200,7 @@ class GoogleCongestionControl:
         if len(self._sent_acked) < 2:
             return 0.0
         span = max(self._sent_acked[-1][0] - self._sent_acked[0][0], 0.05)
-        total = sum(size for _, size in self._sent_acked) - self._sent_acked[0][1]
+        total = self._sent_acked_bytes - self._sent_acked[0][1]
         return max(total, 0) * 8 / span
 
     def _compute_incoming_rate(self, now: float) -> float:
@@ -200,5 +212,5 @@ class GoogleCongestionControl:
         # The first packet opens the window; its bytes arrived before
         # the span being measured, so exclude them (standard rate
         # estimator convention — avoids systematic underestimation).
-        total_bytes = sum(size for _, size in self._acked) - self._acked[0][1]
+        total_bytes = self._acked_bytes - self._acked[0][1]
         return max(total_bytes, 0) * 8 / span

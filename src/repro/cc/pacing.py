@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict
 
+from repro.simulation.events import Event
 from repro.simulation.simulator import Simulator
 
 # Real WebRTC paces at 2.5x target, but its trendline copes with the
@@ -38,6 +39,9 @@ class Pacer:
         self._queues: Dict[int, Deque[object]] = {}
         self._rates: Dict[int, float] = {}
         self._draining: Dict[int, bool] = {}
+        # One reusable drain event per path: re-armed on every release
+        # instead of allocating a closure + event per packet.
+        self._drain_events: Dict[int, Event] = {}
 
     def set_path_rate(self, path_id: int, rate_bps: float) -> None:
         """Update the target rate the pacer multiplies for ``path_id``."""
@@ -45,11 +49,19 @@ class Pacer:
 
     def enqueue(self, packet, path_id: int) -> None:
         """Queue ``packet`` for paced transmission on ``path_id``."""
-        queue = self._queues.setdefault(path_id, deque())
+        queue = self._queues.get(path_id)
+        if queue is None:
+            queue = self._queues[path_id] = deque()
         queue.append(packet)
         if not self._draining.get(path_id, False):
             self._draining[path_id] = True
-            self.sim.schedule(0.0, lambda: self._drain(path_id))
+            event = self._drain_events.get(path_id)
+            if event is None:
+                self._drain_events[path_id] = self.sim.schedule(
+                    0.0, self._drain, path_id
+                )
+            else:
+                self.sim.reschedule(event, 0.0)
 
     def _drain(self, path_id: int) -> None:
         queue = self._queues.get(path_id)
@@ -58,12 +70,11 @@ class Pacer:
             return
         packet = queue.popleft()
         self._send_fn(packet, path_id)
-        pacing_rate = max(
-            self._rates.get(path_id, 0.0) * self.pacing_factor,
-            _MIN_PACING_RATE,
-        )
+        pacing_rate = self._rates.get(path_id, 0.0) * self.pacing_factor
+        if pacing_rate < _MIN_PACING_RATE:
+            pacing_rate = _MIN_PACING_RATE
         gap = packet.size_bytes * 8 / pacing_rate
-        self.sim.schedule(gap, lambda: self._drain(path_id))
+        self.sim.reschedule(self._drain_events[path_id], gap)
 
     def queued_packets(self, path_id: int) -> int:
         return len(self._queues.get(path_id, ()))

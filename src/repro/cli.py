@@ -7,6 +7,7 @@ Usage::
     python -m repro compare --scenario walking --duration 30
     python -m repro sweep --systems converge srtt --seeds 4 --jobs 4
     python -m repro experiment fig12 --duration 60 --jobs 8
+    python -m repro profile fig14 --duration 12 --top 20
     python -m repro chaos --chaos rtcp-blackout --scenario driving
     python -m repro cache ls
     python -m repro cache clear
@@ -184,6 +185,36 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--duration", type=float, default=60.0)
     experiment_parser.add_argument("--seed", type=int, default=1)
     _add_runner_args(experiment_parser)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile one experiment's cells (cProfile + subsystem table)",
+    )
+    profile_parser.add_argument(
+        "name",
+        choices=sorted(
+            name for name, mod in EXPERIMENTS.items() if hasattr(mod, "cells")
+        ),
+        help="experiment whose cells to run serially under the profiler",
+    )
+    profile_parser.add_argument(
+        "--duration", type=float, default=12.0,
+        help="per-cell duration in seconds (short default: profiling "
+        "runs serially in-process)",
+    )
+    profile_parser.add_argument("--seed", type=int, default=1)
+    profile_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="profile only the first N cells of the experiment",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="number of cProfile hotspots to print (by cumulative time)",
+    )
+    profile_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the subsystem accounting + hotspots as JSON",
+    )
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the result cache"
@@ -428,6 +459,82 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if report.ok() else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+    from time import perf_counter
+
+    from repro.experiments.runner import execute_cell
+    from repro.simulation import SimProfiler
+
+    module = EXPERIMENTS[args.name]
+    cells = module.cells(duration=args.duration, seed=args.seed)
+    if args.limit is not None:
+        cells = cells[: max(args.limit, 0)]
+    if not cells:
+        print("nothing to profile", file=sys.stderr)
+        return 1
+
+    sim_profiler = SimProfiler()
+    c_profiler = cProfile.Profile()
+    start = perf_counter()
+    c_profiler.enable()
+    for cell in cells:
+        execute_cell(cell, profiler=sim_profiler)
+    c_profiler.disable()
+    wall = perf_counter() - start
+
+    sim_seconds = sum(cell.duration for cell in cells)
+    print(
+        f"{args.name}: {len(cells)} cells, {sim_seconds:.0f} simulated "
+        f"seconds in {wall:.2f}s wall "
+        f"({sim_profiler.events_total / wall:,.0f} events/s)"
+    )
+    print()
+    print(sim_profiler.format_report())
+
+    stats = pstats.Stats(c_profiler)
+    stats.sort_stats("cumulative")
+    print()
+    print(f"cProfile hotspots (top {args.top} by cumulative time):")
+    stats.print_stats(r"repro", args.top)
+
+    if args.json:
+        hotspots = []
+        for func, row in sorted(
+            stats.stats.items(), key=lambda item: item[1][3], reverse=True
+        ):
+            filename, lineno, name = func
+            if "repro" not in filename:
+                continue
+            cc, nc, tottime, cumtime, _ = row
+            hotspots.append(
+                {
+                    "function": f"{filename}:{lineno}({name})",
+                    "ncalls": nc,
+                    "tottime": tottime,
+                    "cumtime": cumtime,
+                }
+            )
+            if len(hotspots) >= args.top:
+                break
+        payload = {
+            "experiment": args.name,
+            "duration": args.duration,
+            "seed": args.seed,
+            "cells": len(cells),
+            "wall_seconds": wall,
+            "simulated_seconds": sim_seconds,
+            "events_per_second": sim_profiler.events_total / wall,
+            "accounting": sim_profiler.report(),
+            "hotspots": hotspots,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module = EXPERIMENTS[args.name]
     module.main(
@@ -494,6 +601,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
+        "profile": _cmd_profile,
         "cache": _cmd_cache,
         "list": _cmd_list,
     }

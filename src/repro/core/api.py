@@ -8,6 +8,7 @@ from repro.core.config import CallConfig, FecMode, SystemKind
 from repro.core.session import CallResult, ConferenceCall
 from repro.faults.plan import FaultPlan
 from repro.net.path import PathConfig
+from repro.simulation.profiling import SimProfiler
 from repro.scheduling import (
     ConnectionMigrationScheduler,
     ConvergeScheduler,
@@ -85,16 +86,21 @@ def run_call(
     path_configs: Sequence[PathConfig],
     scheduler: Optional[Scheduler] = None,
     fault_plan: Optional[FaultPlan] = None,
+    profiler: Optional[SimProfiler] = None,
 ) -> CallResult:
     """Run one simulated conference call and return its QoE result.
 
     ``fault_plan`` optionally injects a :class:`repro.faults.FaultPlan`
-    of network/feedback faults into the call's paths.
+    of network/feedback faults into the call's paths.  ``profiler``
+    optionally attaches a :class:`repro.simulation.SimProfiler` that
+    accounts wall time per subsystem (at some dispatch overhead).
     """
     paths: List[PathConfig] = list(path_configs)
     if not paths:
         raise ValueError("a call needs at least one path")
     if scheduler is None:
         scheduler = build_scheduler(config)
-    call = ConferenceCall(config, paths, scheduler, fault_plan=fault_plan)
+    call = ConferenceCall(
+        config, paths, scheduler, fault_plan=fault_plan, profiler=profiler
+    )
     return call.run()

@@ -89,10 +89,11 @@ class DuplexCall:
             self.sim, paths, ssrcs, config.receiver, metrics
         )
 
+        rtcp_delay = min(p.config.propagation_delay for p in paths)
+
         def deliver_rtcp(message: RtcpMessage) -> None:
-            delay = min(p.config.propagation_delay for p in paths)
             self.sim.schedule(
-                delay, lambda: receiver.on_rtcp_from_sender(message)
+                rtcp_delay, receiver.on_rtcp_from_sender, message
             )
 
         sender = SenderSession(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Dict, List, Optional, Tuple
 
 from repro.cc.gcc import GccConfig, GoogleCongestionControl
@@ -166,16 +167,18 @@ class PathManager:
         self._mark_feedback(state, message.path_id, now)
         acked: List[Tuple[float, float, int]] = []
         max_tseq = state.highest_acked_tseq
+        sent_pop = state.sent.pop
+        acked_append = acked.append
         for tseq, arrival in message.packets:
-            record = state.sent.pop(tseq, None)
+            record = sent_pop(tseq, None)
             if record is None:
                 continue
-            send_time, size = record
-            acked.append((send_time, arrival, size))
-            max_tseq = max(max_tseq, tseq)
+            acked_append((record[0], arrival, record[1]))
+            if tseq > max_tseq:
+                max_tseq = tseq
         state.highest_acked_tseq = max_tseq
         lost = self._collect_losses(state, now)
-        acked.sort(key=lambda item: item[1])
+        acked.sort(key=itemgetter(1))
         state.gcc.on_transport_feedback(acked, lost, now)
 
     def _collect_losses(self, state: _PathState, now: float) -> int:

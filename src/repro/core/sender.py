@@ -130,6 +130,7 @@ class SenderSession:
         self._converge_fec = ConvergeFecController()
         self._webrtc_fec = WebRtcFecController()
         self._rtx_window: Deque[Tuple[float, int]] = deque()
+        self._rtx_window_bytes = 0  # running sum of the window's sizes
         self._rate_process = PeriodicProcess(
             sim, _RATE_UPDATE_INTERVAL, self._update_rates
         )
@@ -398,15 +399,17 @@ class SenderSession:
             self.pacer.enqueue(packet, path_id)
 
     def _rtx_budget_allows(self, size_bytes: int, now: float) -> bool:
-        while self._rtx_window and self._rtx_window[0][0] < now - 1.0:
-            self._rtx_window.popleft()
+        window = self._rtx_window
+        while window and window[0][0] < now - 1.0:
+            self._rtx_window_bytes -= window.popleft()[1]
         budget = _RTX_RATE_FRACTION * max(
             self.path_manager.aggregate_rate(), 300_000.0
         )
-        spent = sum(size for _, size in self._rtx_window) * 8
+        spent = self._rtx_window_bytes * 8
         if spent + size_bytes * 8 > budget:
             return False
-        self._rtx_window.append((now, size_bytes))
+        window.append((now, size_bytes))
+        self._rtx_window_bytes += size_bytes
         return True
 
     # -- periodic upkeep -----------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.receiver.session import ReceiverSession
 from repro.rtp.rtcp import RtcpMessage
 from repro.scheduling.base import Scheduler
 from repro.simulation.process import PeriodicProcess
+from repro.simulation.profiling import SimProfiler
 from repro.simulation.simulator import Simulator
 
 
@@ -42,6 +43,7 @@ class ConferenceCall:
         path_configs: List[PathConfig],
         scheduler: Scheduler,
         fault_plan: Optional[FaultPlan] = None,
+        profiler: Optional["SimProfiler"] = None,
     ) -> None:
         self.config = config
         self.sim = Simulator(config.seed)
@@ -71,14 +73,20 @@ class ConferenceCall:
         )
         for path in self.paths:
             path.on_feedback_deliver = self.sender.on_rtcp
+        # Propagation delays are static per path; compute the sender→
+        # receiver RTCP delay once instead of per message.
+        self._rtcp_delay = min(
+            p.config.propagation_delay for p in self.paths
+        )
         self._sampler = PeriodicProcess(
             self.sim, config.sample_interval, self._sample
         )
+        if profiler is not None:
+            profiler.attach_call(self)
 
     def _deliver_rtcp_to_receiver(self, message: RtcpMessage) -> None:
-        delay = min(p.config.propagation_delay for p in self.paths)
         self.sim.schedule(
-            delay, lambda: self.receiver.on_rtcp_from_sender(message)
+            self._rtcp_delay, self.receiver.on_rtcp_from_sender, message
         )
 
     def _sample(self) -> None:

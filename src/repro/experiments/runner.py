@@ -269,13 +269,17 @@ def results_of(report: RunReport) -> List[CellSummary]:
 # Worker-side execution
 
 
-def execute_cell(cell: Cell) -> Dict[str, Any]:
+def execute_cell(cell: Cell, profiler=None) -> Dict[str, Any]:
     """Run one cell to completion; the module-level worker entry point.
 
     Everything stochastic is derived from ``cell.seed`` inside this
     function (paths, fault plans, the simulator's streams), so the
     result depends only on the cell — the property the whole runner
     rests on.  Returns the summary payload dict.
+
+    ``profiler`` optionally attaches a
+    :class:`repro.simulation.SimProfiler` to the call (used by
+    ``repro profile``, which runs cells serially in-process).
     """
     from repro.analysis.export import result_to_dict
     from repro.core.api import build_call_config, run_call
@@ -300,7 +304,9 @@ def execute_cell(cell: Cell) -> Dict[str, Any]:
         label=label,
         **cell.override_kwargs(),
     )
-    result = run_call(config, path_configs, fault_plan=fault_plan)
+    result = run_call(
+        config, path_configs, fault_plan=fault_plan, profiler=profiler
+    )
     return result_to_dict(result)
 
 

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 
 class TimeSeries:
@@ -102,7 +103,9 @@ class MetricsCollector:
         self.ifd_series = TimeSeries()
         self.fcd_series = TimeSeries()
         self.path_rate_series: Dict[int, TimeSeries] = {}
-        self._received_bytes_window: List[Tuple[float, int]] = []
+        self._received_bytes_window: Deque[Tuple[float, int]] = deque()
+        # Running byte total of the window (exact: sizes are ints).
+        self._received_window_bytes = 0
         # Fault windows injected by repro.faults and the sender-side
         # path lifecycle transitions (degraded/disabled/enabled/...),
         # the raw material for recovery-time accounting.
@@ -127,7 +130,9 @@ class MetricsCollector:
     def record_packet_sent(
         self, path_id: int, kind: str, size_bytes: int
     ) -> None:
-        record = self.path_sends.setdefault(path_id, PathSendRecord())
+        record = self.path_sends.get(path_id)
+        if record is None:
+            record = self.path_sends[path_id] = PathSendRecord()
         if kind == "fec":
             record.fec_packets += 1
             record.fec_bytes += size_bytes
@@ -156,17 +161,17 @@ class MetricsCollector:
     def record_media_received(self, time: float, size_bytes: int) -> None:
         self.received_media_bytes += size_bytes
         self._received_bytes_window.append((time, size_bytes))
+        self._received_window_bytes += size_bytes
 
     def record_receive_rate_sample(self, time: float, window: float = 1.0) -> None:
         """Sample the received media rate over the trailing window."""
         cutoff = time - window
-        while (
-            self._received_bytes_window
-            and self._received_bytes_window[0][0] < cutoff
-        ):
-            self._received_bytes_window.pop(0)
-        total = sum(size for _, size in self._received_bytes_window)
-        self.receive_rate_series.append(time, total * 8 / window)
+        pending = self._received_bytes_window
+        while pending and pending[0][0] < cutoff:
+            self._received_window_bytes -= pending.popleft()[1]
+        self.receive_rate_series.append(
+            time, self._received_window_bytes * 8 / window
+        )
 
     def record_frame_drop(
         self, time: float, ssrc: int, frame_id: int, reason: str

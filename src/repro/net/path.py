@@ -38,7 +38,7 @@ _OUTAGE_CAPACITY_BPS = 1_000.0
 _OUTAGE_POLL_INTERVAL = 0.02
 
 
-@dataclass
+@dataclass(slots=True)
 class PathConfig:
     """Static configuration for one emulated path."""
 
@@ -71,7 +71,7 @@ class PathConfig:
             self.name = f"path-{self.path_id}"
 
 
-@dataclass
+@dataclass(slots=True)
 class PathStats:
     """Counters the emulator keeps per path."""
 
@@ -171,10 +171,11 @@ class Path:
         randomly lost in flight), ``False`` on queue overflow.
         """
         size = packet.size_bytes
-        self.stats.sent_packets += 1
-        self.stats.sent_bytes += size
+        stats = self.stats
+        stats.sent_packets += 1
+        stats.sent_bytes += size
         if self._queued_bytes + size > self.effective_queue_capacity:
-            self.stats.queue_drops += 1
+            stats.queue_drops += 1
             return False
         self._queue.append(packet)
         self._queued_bytes += size
@@ -187,30 +188,37 @@ class Path:
         if not self._queue:
             self._serving = False
             return
-        capacity = self.capacity_now()
-        if capacity < self.config.outage_capacity_bps:
-            self.sim.schedule(self.config.outage_poll_interval, self._serve_next)
+        sim = self.sim
+        config = self.config
+        capacity = config.trace.capacity_at(sim.now)
+        if self._capacity_cap is not None:
+            capacity = min(capacity, self._capacity_cap)
+        if capacity < config.outage_capacity_bps:
+            sim.schedule(config.outage_poll_interval, self._serve_next)
             return
         packet = self._queue.popleft()
-        self._queued_bytes -= packet.size_bytes
-        tx_time = packet.size_bytes * 8 / capacity
-        self.sim.schedule(tx_time, lambda: self._transmitted(packet))
+        size = packet.size_bytes
+        self._queued_bytes -= size
+        sim.schedule(size * 8 / capacity, self._transmitted, packet)
 
     def _transmitted(self, packet) -> None:
         # Schedule the next packet's service as soon as this one leaves
         # the transmitter, then propagate this one.
         self._serve_next()
-        loss_model = self._loss_override or self.config.loss_model
-        if loss_model.should_drop(self._rng, self.sim.now):
+        config = self.config
+        loss_model = self._loss_override or config.loss_model
+        sim = self.sim
+        if loss_model.should_drop(self._rng, sim.now):
             self.stats.random_losses += 1
             return
-        jitter = self._jitter_rng.uniform(0.0, self.config.jitter_max)
-        delay = self.config.propagation_delay + self._extra_delay + jitter
-        self.sim.schedule(delay, lambda: self._deliver(packet))
+        jitter = self._jitter_rng.uniform(0.0, config.jitter_max)
+        delay = config.propagation_delay + self._extra_delay + jitter
+        sim.schedule(delay, self._deliver, packet)
 
     def _deliver(self, packet) -> None:
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bytes += packet.size_bytes
+        stats = self.stats
+        stats.delivered_packets += 1
+        stats.delivered_bytes += packet.size_bytes
         if self.on_deliver is not None:
             self.on_deliver(packet)
 
@@ -240,9 +248,7 @@ class Path:
         )
         deliver_at = max(self.sim.now + delay, self._feedback_horizon)
         self._feedback_horizon = deliver_at
-        self.sim.schedule_at(
-            deliver_at, lambda: self._deliver_feedback(message)
-        )
+        self.sim.schedule_at(deliver_at, self._deliver_feedback, message)
 
     def _deliver_feedback(self, message) -> None:
         self.stats.feedback_delivered += 1

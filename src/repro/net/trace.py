@@ -10,6 +10,7 @@ controlled experiments (e.g. the capacity drop in Figure 11).
 from __future__ import annotations
 
 import bisect
+from bisect import bisect_right
 from typing import Iterable, List, Sequence, Tuple
 
 
@@ -55,8 +56,8 @@ class BandwidthTrace:
             raise ValueError("time must be non-negative")
         if self.loop and self.duration > 0:
             time = time % self.duration
-        index = bisect.bisect_right(self._times, time) - 1
-        return self._values[max(index, 0)]
+        index = bisect_right(self._times, time) - 1
+        return self._values[index if index > 0 else 0]
 
     def mean_capacity(self, start: float = 0.0, end: float | None = None) -> float:
         """Time-weighted mean capacity over ``[start, end]``."""

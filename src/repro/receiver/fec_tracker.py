@@ -50,8 +50,10 @@ class FecTracker:
         had both a loss and its FEC packet waiting.
         """
         self._arrived.add(seq)
-        self._highest_arrival = max(self._highest_arrival, seq)
-        self._prune_arrivals()
+        if seq > self._highest_arrival:
+            self._highest_arrival = seq
+        if len(self._arrived) > 16384:
+            self._prune_arrivals()
         for fec_seq in self._seq_to_groups.get(seq, ()):
             group = self._groups.get(fec_seq)
             if group is None:

@@ -183,7 +183,7 @@ class FrameBuffer:
         self._disarm_timeout()
         self._blocked_on = blocked_on
         self._timeout_event = self.sim.schedule(
-            self.config.wait_timeout, lambda: self._on_timeout(blocked_on)
+            self.config.wait_timeout, self._on_timeout, blocked_on
         )
 
     def _disarm_timeout(self) -> None:

@@ -105,9 +105,10 @@ class NackGenerator:
         if unwrapped > self._highest:
             gap = unwrapped - self._highest - 1
             if 0 < gap <= self.config.max_gap:
+                now = self.sim.now
                 for missing in range(self._highest + 1, unwrapped):
                     self._missing[missing] = _MissingSeq(
-                        unwrapped_seq=missing, first_seen=self.sim.now
+                        unwrapped_seq=missing, first_seen=now
                     )
             if len(self._missing) > self.config.max_outstanding:
                 # Overflow: a burst this large is congestion, not

@@ -32,7 +32,7 @@ class PacketBufferConfig:
             raise ValueError("packet buffer must hold at least 8 packets")
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketArrival:
     """Arrival record kept per packet for QoE feedback computation."""
 
@@ -43,7 +43,7 @@ class PacketArrival:
     fec_recovered: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _FrameAssembly:
     """Mutable per-frame assembly state."""
 
@@ -75,7 +75,7 @@ class _FrameAssembly:
         return expected is not None and len(self.seqs) >= expected
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketBufferStats:
     packets_inserted: int = 0
     duplicates: int = 0
@@ -104,32 +104,35 @@ class PacketBuffer:
         frame_id = packet.frame_id
         if frame_id in self._dead_frames:
             return None
-        seq = (
-            packet.original_seq
-            if packet.packet_type is PacketType.RETRANSMISSION
+        packet_type = packet.packet_type
+        seq = packet.seq
+        if (
+            packet_type is PacketType.RETRANSMISSION
             and packet.original_seq is not None
-            else packet.seq
-        )
+        ):
+            seq = packet.original_seq
         assembly = self._frames.get(frame_id)
         if assembly is None:
             assembly = _FrameAssembly(frame_id=frame_id, ssrc=packet.ssrc)
             assembly.first_arrival = now
             self._frames[frame_id] = assembly
-        if seq in assembly.seqs:
+        seqs = assembly.seqs
+        if seq in seqs:
             self.stats.duplicates += 1
             return None
-        self._make_room(protect_frame=frame_id)
-        if frame_id in self._dead_frames:
-            # Making room can only kill other frames, but guard anyway.
-            return None
+        if self._packet_count >= self.config.capacity_packets:
+            self._make_room(protect_frame=frame_id)
+            if frame_id in self._dead_frames:
+                # Making room can only kill other frames, but guard anyway.
+                return None
 
-        assembly.seqs.add(seq)
+        seqs.add(seq)
         assembly.arrivals.append(
             PacketArrival(
                 seq=seq,
                 path_id=packet.path_id,
                 arrival_time=now,
-                packet_type=packet.packet_type,
+                packet_type=packet_type,
                 fec_recovered=fec_recovered,
             )
         )
@@ -142,16 +145,23 @@ class PacketBuffer:
             assembly.first_seq = seq
         if packet.last_in_frame:
             assembly.last_seq = seq
-        if packet.packet_type is PacketType.PPS:
+        if packet_type is PacketType.PPS:
             assembly.has_pps = True
-        elif packet.packet_type is PacketType.SPS:
+        elif packet_type is PacketType.SPS:
             assembly.has_sps = True
         else:
             assembly.media_bytes += packet.payload_size
         self._packet_count += 1
         self.stats.packets_inserted += 1
 
-        if assembly.complete:
+        # Inline of assembly.complete (this is the per-packet hot path).
+        first_seq = assembly.first_seq
+        last_seq = assembly.last_seq
+        if (
+            first_seq is not None
+            and last_seq is not None
+            and len(seqs) >= seq_diff(last_seq, first_seq) + 1
+        ):
             return self._finish(assembly, now)
         return None
 

@@ -192,11 +192,11 @@ class ReceiverSession:
         if path_state is not None:
             path_state.transport_entries.append((packet.mp_transport_seq, now))
             path_state.last_activity = now
-            if packet.mp_seq >= 0:
-                unwrapped_mp = path_state.mp_unwrapper.unwrap(packet.mp_seq)
-                path_state.highest_mp_seq = max(
-                    path_state.highest_mp_seq, unwrapped_mp
-                )
+            mp_seq = packet.mp_seq
+            if mp_seq >= 0:
+                unwrapped_mp = path_state.mp_unwrapper.unwrap(mp_seq)
+                if unwrapped_mp > path_state.highest_mp_seq:
+                    path_state.highest_mp_seq = unwrapped_mp
                 path_state.received_count += 1
         stream = self._streams.get(packet.ssrc)
         if stream is None:
@@ -209,22 +209,18 @@ class ReceiverSession:
     def _on_media_packet(
         self, stream: _StreamState, packet: RtpPacket, now: float
     ) -> None:
-        original_seq = (
-            packet.original_seq
-            if packet.packet_type is PacketType.RETRANSMISSION
-            and packet.original_seq is not None
-            else packet.seq
-        )
+        is_rtx = packet.packet_type is PacketType.RETRANSMISSION
+        original_seq = packet.seq
+        if is_rtx and packet.original_seq is not None:
+            original_seq = packet.original_seq
         unwrapped = stream.seq_unwrapper.unwrap(original_seq)
         stream.last_unwrapped_seq = unwrapped
         stream.recent_packets[unwrapped] = packet
-        self._prune_recent(stream)
+        if len(stream.recent_packets) > 8192:
+            self._prune_recent(stream)
         self.metrics.record_media_received(now, packet.payload_size)
         if stream.nack is not None:
-            stream.nack.on_packet(
-                unwrapped,
-                repaired=packet.packet_type is PacketType.RETRANSMISSION,
-            )
+            stream.nack.on_packet(unwrapped, repaired=is_rtx)
         recovered = stream.fec_tracker.on_media_packet(unwrapped)
         self._insert_packet(stream, packet, now, fec_recovered=False)
         if recovered is not None:

@@ -53,7 +53,7 @@ def priority_of(packet_type: PacketType) -> Optional[int]:
 _packet_uid = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class RtpPacket:
     """One RTP packet, carrying media, parameter sets, or FEC.
 
@@ -89,17 +89,17 @@ class RtpPacket:
     original_seq: Optional[int] = None
     send_time: float = -1.0
     uid: int = field(default_factory=lambda: next(_packet_uid))
+    # On-the-wire size including RTP + multipath extension headers.
+    # Precomputed (payload_size never changes after construction) because
+    # the emulator reads it several times per packet on the hot path.
+    size_bytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_size < 0:
             raise ValueError("payload size must be non-negative")
         if self.frame_type not in (FRAME_TYPE_KEY, FRAME_TYPE_DELTA):
             raise ValueError(f"unknown frame type: {self.frame_type}")
-
-    @property
-    def size_bytes(self) -> int:
-        """On-the-wire size including RTP + multipath extension headers."""
-        return RTP_HEADER_BYTES + self.payload_size
+        self.size_bytes = RTP_HEADER_BYTES + self.payload_size
 
     @property
     def priority(self) -> Optional[int]:

@@ -64,6 +64,9 @@ class SequenceUnwrapper:
             self._last_wrapped = seq
             self._last_unwrapped = seq
             return seq
-        self._last_unwrapped += seq_diff(seq, self._last_wrapped)
+        # Inline of seq_diff: this runs once per received packet.
+        self._last_unwrapped += (
+            (seq - self._last_wrapped + _HALF) % SEQ_MOD
+        ) - _HALF
         self._last_wrapped = seq
         return self._last_unwrapped

@@ -16,9 +16,10 @@ Three levels of control:
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Dict, List, Sequence
 
-from repro.rtp.packets import PacketType, RtpPacket
+from repro.rtp.packets import RTP_HEADER_BYTES, PacketType, RtpPacket, priority_of
 from repro.scheduling.base import DROP_PATH, Assignment, PathSnapshot, Scheduler
 
 
@@ -43,7 +44,33 @@ class ConvergeScheduler(Scheduler):
         if not packets:
             return []
 
-        max_size = max(p.size_bytes for p in packets)
+        # One pass over the batch: find the largest payload and split the
+        # packets into priority / plain-media / FEC groups (previously
+        # four comprehensions, each re-deriving priority per packet).
+        max_payload = 0
+        prioritized: List = []  # (priority, packet) pairs
+        media_packets: List[RtpPacket] = []
+        fec_packets: List[RtpPacket] = []
+        fec_type = PacketType.FEC
+        for packet in packets:
+            payload = packet.payload_size
+            if payload > max_payload:
+                max_payload = payload
+            packet_type = packet.packet_type
+            if packet_type is fec_type:
+                fec_packets.append(packet)
+                continue
+            priority = priority_of(packet_type)
+            if priority is None:
+                media_packets.append(packet)
+            else:
+                prioritized.append((priority, packet))
+        # Stable sort on the priority key alone (the packet objects are
+        # not comparable), matching sorted(..., key=lambda p: p.priority).
+        prioritized.sort(key=itemgetter(0))
+        priority_packets = [packet for _, packet in prioritized]
+
+        max_size = RTP_HEADER_BYTES + max_payload
         ordered = self._paths_by_completion_time(
             enabled, len(packets), max_size
         )
@@ -68,16 +95,6 @@ class ConvergeScheduler(Scheduler):
         }
 
         assignments: Assignment = []
-        priority_packets = sorted(
-            (p for p in packets if p.is_priority and p.packet_type is not PacketType.FEC),
-            key=lambda p: p.priority,  # type: ignore[arg-type, return-value]
-        )
-        media_packets = [
-            p
-            for p in packets
-            if not p.is_priority and p.packet_type is not PacketType.FEC
-        ]
-        fec_packets = [p for p in packets if p.packet_type is PacketType.FEC]
 
         # Priority packets: fast path first, spill in cpt order.  A
         # priority packet is never dropped — if every path is at its
@@ -100,9 +117,8 @@ class ConvergeScheduler(Scheduler):
         # path with room so nothing is dropped at the scheduler.
         if media_packets:
             index = 0
-            by_speed = sorted(
-                enabled, key=lambda p: ordered.index(p.path_id)
-            )
+            rank = {path_id: pos for pos, path_id in enumerate(ordered)}
+            by_speed = sorted(enabled, key=lambda p: rank[p.path_id])
             for path in by_speed:
                 allowed = min(max(path.budget_packets, 0), remaining[path.path_id])
                 for _ in range(allowed):

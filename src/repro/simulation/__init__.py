@@ -10,6 +10,7 @@ in the reproduction is deterministic given its seed.
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.random import RandomStreams
 from repro.simulation.process import PeriodicProcess
+from repro.simulation.profiling import SimProfiler
 from repro.simulation.simulator import Simulator
 
 __all__ = [
@@ -17,5 +18,6 @@ __all__ = [
     "EventQueue",
     "PeriodicProcess",
     "RandomStreams",
+    "SimProfiler",
     "Simulator",
 ]

@@ -1,60 +1,183 @@
-"""Event and event-queue primitives for the discrete-event simulator."""
+"""Event and event-queue primitives for the discrete-event simulator.
+
+This is the hottest code in the repository: every packet transmission,
+pacing gap, RTCP delivery and periodic tick flows through one
+:class:`EventQueue`.  Three design points keep it fast without changing
+behaviour:
+
+1. The heap stores plain ``(time, seq, event)`` tuples, so ordering is
+   decided by native C tuple comparison (``seq`` is unique, so the
+   :class:`Event` object itself is never compared).  Ties at equal
+   ``time`` break by the monotonically increasing sequence number —
+   events scheduled earlier run earlier — which keeps simulations
+   deterministic, exactly as the previous ``@dataclass(order=True)``
+   implementation did.
+2. :class:`Event` is a ``__slots__`` class (no per-event ``__dict__``)
+   and can be *re-armed* via :meth:`EventQueue.reschedule`, so periodic
+   processes reuse one event object instead of allocating a new one per
+   tick.
+3. Cancellation stays lazy (a flag checked at dispatch), but the queue
+   now counts cancelled-but-still-queued entries and compacts the heap
+   in place when more than half of it is dead weight, bounding both
+   memory and pop-time skipping.
+"""
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Callable, List, Optional, Tuple
+
+# Sentinel: "this event's callback takes no argument".  Using a
+# dedicated object (not None) lets callbacks legitimately receive None.
+_NO_ARG = object()
+
+# Compaction policy: rebuild the heap when at least this many entries
+# are queued and more than half of them are cancelled.
+_COMPACT_MIN_ENTRIES = 64
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback; also the cancellation/re-arm handle.
 
-    Events order by ``(time, sequence)``.  The monotonically increasing
-    sequence number breaks ties so that events scheduled earlier run
-    earlier, which keeps simulations deterministic.
+    ``arg`` is an optional single argument passed to ``callback`` at
+    dispatch time, which lets hot paths avoid allocating a closure per
+    scheduled packet.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "callback", "arg", "cancelled", "_queue", "_queued")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable,
+        arg: object = _NO_ARG,
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.arg = arg
+        self.cancelled = False
+        self._queue = queue
+        self._queued = False
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it at dispatch time."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None and self._queued:
+            queue._cancelled += 1
+            heap = queue._heap
+            if (
+                len(heap) >= _COMPACT_MIN_ENTRIES
+                and queue._cancelled * 2 > len(heap)
+            ):
+                queue.compact()
+
+    def dispatch(self) -> None:
+        """Invoke the callback (with its bound argument, if any)."""
+        arg = self.arg
+        if arg is _NO_ARG:
+            self.callback()
+        else:
+            self.callback(arg)
 
 
 class EventQueue:
-    """A min-heap of :class:`Event` objects with lazy cancellation."""
+    """A min-heap of scheduled events with lazy cancellation.
+
+    Heap entries are ``(time, seq, event)`` tuples; ``__len__`` reports
+    raw entries (including cancelled ones) while :attr:`live` reports
+    only events that will actually dispatch.
+    """
+
+    __slots__ = ("_heap", "_counter", "_cancelled")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        # Number of cancelled events still sitting in the heap.
+        self._cancelled = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
-    def push(self, time: float, callback: Callable[[], None]) -> Event:
+    @property
+    def live(self) -> int:
+        """Number of queued events that are not cancelled."""
+        return len(self._heap) - self._cancelled
+
+    def push(
+        self, time: float, callback: Callable, arg: object = _NO_ARG
+    ) -> Event:
         """Schedule ``callback`` at absolute ``time`` and return the event."""
-        event = Event(time=time, sequence=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        event = Event(time, callback, arg, self)
+        event._queued = True
+        heappush(self._heap, (time, next(self._counter), event))
+        return event
+
+    def reschedule(self, event: Event, time: float) -> Event:
+        """Re-arm a previously dispatched (or compacted-away) event.
+
+        Reuses the event object — callback and bound argument included —
+        instead of allocating a fresh one.  The re-armed event draws a
+        new sequence number, so tie-breaking at equal timestamps is
+        identical to pushing a brand-new event at the same point.
+        """
+        if event._queued:
+            raise RuntimeError("cannot reschedule an event still in the queue")
+        event.time = time
+        event.cancelled = False
+        event._queue = self
+        event._queued = True
+        heappush(self._heap, (time, next(self._counter), event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[2]
+            event._queued = False
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the earliest pending event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heappop(heap)
+                entry[2]._queued = False
+                self._cancelled -= 1
+                continue
+            return entry[0]
         return None
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify in place.
+
+        Entries keep their ``(time, seq)`` keys, so the surviving
+        dispatch order is exactly what lazy skipping would have
+        produced.  The heap list is mutated in place so aliases held by
+        the simulator's run loop stay valid.
+        """
+        heap = self._heap
+        if self._cancelled == 0:
+            return
+        survivors = []
+        for entry in heap:
+            event = entry[2]
+            if event.cancelled:
+                event._queued = False
+            else:
+                survivors.append(entry)
+        heap[:] = survivors
+        heapify(heap)
+        self._cancelled = 0

@@ -37,7 +37,9 @@ class PeriodicProcess:
             return
         self._callback()
         if not self._stopped:
-            self._event = self._sim.schedule(self.interval, self._tick)
+            # Re-arm the same event object instead of allocating a new
+            # one per tick; ordering is identical to a fresh schedule().
+            self._event = self._sim.reschedule(self._event, self.interval)
 
     def stop(self) -> None:
         """Cancel future ticks."""

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
-from repro.simulation.events import Event, EventQueue
+from repro.simulation.events import _NO_ARG, Event, EventQueue
 from repro.simulation.random import RandomStreams
 
 
@@ -14,6 +15,14 @@ class Simulator:
     Components hold a reference to the simulator, read the clock via
     :attr:`now`, and schedule work with :meth:`schedule` (relative delay)
     or :meth:`schedule_at` (absolute time).
+
+    :attr:`events_dispatched` counts callbacks actually executed (skipped
+    cancelled events excluded); the simcore benchmark divides it by wall
+    time to report events/sec.  ``profile_hook``, when set, is called as
+    ``hook(event)`` in place of the plain dispatch so a profiler can time
+    and classify each callback — the hook is responsible for invoking the
+    event.  It defaults to ``None``, which keeps the run loop on the
+    branch-free fast path.
     """
 
     def __init__(self, seed: int = 0) -> None:
@@ -21,18 +30,67 @@ class Simulator:
         self.streams = RandomStreams(seed)
         self._queue = EventQueue()
         self._running = False
+        self.events_dispatched: int = 0
+        self.profile_hook: Optional[Callable[[Event], None]] = None
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+    def schedule(
+        self, delay: float, callback: Callable, arg: object = _NO_ARG
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``arg``, when given, is passed to the callback at dispatch time;
+        hot paths use it instead of building a closure per packet.
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self._queue.push(self.now + delay, callback)
+        # Inline of EventQueue.push, with the Event built by direct
+        # slot stores: this is the most frequent scheduling entry point,
+        # and skipping the __init__ frame saves a call per event.
+        queue = self._queue
+        time = self.now + delay
+        event = Event.__new__(Event)
+        event.time = time
+        event.callback = callback
+        event.arg = arg
+        event.cancelled = False
+        event._queue = queue
+        event._queued = True
+        heappush(queue._heap, (time, next(queue._counter), event))
+        return event
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+    def schedule_at(
+        self, time: float, callback: Callable, arg: object = _NO_ARG
+    ) -> Event:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        return self._queue.push(time, callback)
+        queue = self._queue
+        event = Event(time, callback, arg, queue)
+        event._queued = True
+        heappush(queue._heap, (time, next(queue._counter), event))
+        return event
+
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-arm a dispatched event ``delay`` seconds from now.
+
+        Equivalent to scheduling the event's callback (and bound
+        argument) afresh, but reuses the event object.  Periodic
+        processes use this to avoid one allocation per tick.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        if event._queued:
+            raise RuntimeError("cannot reschedule an event still in the queue")
+        # Inline of EventQueue.reschedule (hot: every periodic tick and
+        # pacer release re-arms its event through here).
+        queue = self._queue
+        time = self.now + delay
+        event.time = time
+        event.cancelled = False
+        event._queue = queue
+        event._queued = True
+        heappush(queue._heap, (time, next(queue._counter), event))
+        return event
 
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the queue drains or the clock passes ``until``.
@@ -40,22 +98,47 @@ class Simulator:
         Returns the simulation time at which the run stopped.  Events
         scheduled exactly at ``until`` are executed.
         """
+        # The body below is the hottest loop in the repository, so the
+        # queue internals are inlined: heap entries are (time, seq, event)
+        # tuples and cancelled events are skipped lazily, exactly as
+        # EventQueue.pop() would.  `queue._heap` is aliased, never
+        # rebound — compaction mutates the list in place.
+        queue = self._queue
+        heap = queue._heap
+        no_arg = _NO_ARG
+        dispatched = 0
         self._running = True
         try:
             while self._running:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                while heap:
+                    entry = heap[0]
+                    event = entry[2]
+                    if event.cancelled:
+                        heappop(heap)
+                        event._queued = False
+                        queue._cancelled -= 1
+                        continue
                     break
+                else:
+                    break
+                next_time = entry[0]
                 if until is not None and next_time > until:
                     self.now = until
                     break
-                event = self._queue.pop()
-                if event is None:
-                    break
-                self.now = event.time
-                event.callback()
+                heappop(heap)
+                event._queued = False
+                self.now = next_time
+                dispatched += 1
+                hook = self.profile_hook
+                if hook is not None:
+                    hook(event)
+                elif event.arg is no_arg:
+                    event.callback()
+                else:
+                    event.callback(event.arg)
         finally:
             self._running = False
+            self.events_dispatched += dispatched
         if until is not None:
             self.now = max(self.now, until)
         return self.now
@@ -65,5 +148,5 @@ class Simulator:
         self._running = False
 
     def pending_events(self) -> int:
-        """Return the number of events still queued (including cancelled)."""
-        return len(self._queue)
+        """Return the number of live (non-cancelled) events still queued."""
+        return self._queue.live

@@ -72,3 +72,24 @@ class TestCommands:
         out = capsys.readouterr().out
         for system in ("webrtc", "converge", "m-rtp", "srtt"):
             assert system in out
+
+    def test_profile_emits_accounting_and_json(self, capsys, tmp_path):
+        target = tmp_path / "profile.json"
+        code = main([
+            "profile", "fig14", "--duration", "2", "--limit", "2",
+            "--top", "5", "--json", str(target),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subsystem" in out
+        assert "cProfile hotspots" in out
+        data = json.loads(target.read_text())
+        assert data["experiment"] == "fig14"
+        assert data["cells"] == 2
+        assert data["accounting"]["events_total"] > 0
+        assert data["events_per_second"] > 0
+        assert data["hotspots"], "expected at least one repro hotspot"
+
+    def test_profile_rejects_experiment_without_cells(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "sweeps"])

@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.simulation import PeriodicProcess, RandomStreams, Simulator
-from repro.simulation.events import EventQueue
+from repro.simulation import (
+    PeriodicProcess,
+    RandomStreams,
+    SimProfiler,
+    Simulator,
+)
+from repro.simulation.events import _COMPACT_MIN_ENTRIES, EventQueue
 from repro.simulation.random import derive_seed
 
 
@@ -42,6 +47,107 @@ class TestEventQueue:
         queue.push(2.0, lambda: None)
         first.cancel()
         assert queue.peek_time() == 2.0
+
+    def test_cancel_then_peek_empty(self):
+        queue = EventQueue()
+        only = queue.push(1.0, lambda: None)
+        only.cancel()
+        assert queue.peek_time() is None
+        assert queue.live == 0
+
+    def test_live_excludes_cancelled(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(4)]
+        events[1].cancel()
+        assert len(queue) == 4
+        assert queue.live == 3
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue.live == 1
+
+    def test_cancel_after_pop_does_not_corrupt_live(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()  # already out of the heap: must not count
+        assert queue.live == 1
+        assert queue.pop() is not None
+
+    def test_compaction_trims_heap_and_preserves_order(self):
+        queue = EventQueue()
+        events = [
+            queue.push(float(i), lambda i=i: i)
+            for i in range(2 * _COMPACT_MIN_ENTRIES)
+        ]
+        # Cancelling just over half the entries crosses the compaction
+        # threshold; the heap should shrink to the survivors.
+        for event in events[: _COMPACT_MIN_ENTRIES + 1]:
+            event.cancel()
+        assert len(queue) == _COMPACT_MIN_ENTRIES - 1
+        assert queue.live == len(queue)
+        times = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            times.append(event.time)
+        assert times == sorted(times)
+        assert len(times) == _COMPACT_MIN_ENTRIES - 1
+
+    def test_compaction_below_min_entries_is_lazy(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[:8]:
+            event.cancel()
+        # Under the size floor nothing is rebuilt; cancelled entries
+        # stay until popped over.
+        assert len(queue) == 10
+        assert queue.live == 2
+
+    def test_explicit_compact_resets_counter(self):
+        queue = EventQueue()
+        keep = queue.push(5.0, lambda: None)
+        for i in range(5):
+            queue.push(float(i), lambda: None).cancel()
+        queue.compact()
+        assert len(queue) == 1
+        assert queue.live == 1
+        assert queue.pop() is keep
+
+    def test_reschedule_reuses_event_object(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("tick"))
+        assert queue.pop() is event
+        event.dispatch()
+        again = queue.reschedule(event, 2.0)
+        assert again is event
+        assert queue.peek_time() == 2.0
+        queue.pop().dispatch()
+        assert fired == ["tick", "tick"]
+
+    def test_reschedule_while_queued_rejected(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            queue.reschedule(event, 2.0)
+
+    def test_rescheduled_event_ties_break_by_rearm_order(self):
+        queue = EventQueue()
+        order = []
+        event = queue.push(0.0, lambda: order.append("rearmed"))
+        queue.pop()
+        queue.push(1.0, lambda: order.append("fresh"))
+        queue.reschedule(event, 1.0)
+        queue.pop().dispatch()
+        queue.pop().dispatch()
+        assert order == ["fresh", "rearmed"]
 
 
 class TestSimulator:
@@ -103,6 +209,88 @@ class TestSimulator:
         sim.run()
         assert fired == []
 
+    def test_stop_mid_event_keeps_queue_resumable(self):
+        sim = Simulator()
+        fired = []
+
+        def stop_and_record():
+            fired.append(sim.now)
+            sim.stop()
+
+        sim.schedule(1.0, stop_and_record)
+        sim.schedule(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+        assert sim.pending_events() == 1
+        # A second run picks up exactly where the stop left off.
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_schedule_at_exactly_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(sim.now))
+        assert sim.run(until=2.0) == 2.0
+        assert fired == [2.0]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+
+    def test_pending_events_reports_live_only(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        doomed = sim.schedule(2.0, lambda: None)
+        doomed.cancel()
+        assert sim.pending_events() == 1
+
+    def test_events_dispatched_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 2
+
+    def test_schedule_with_arg_passes_it(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "payload")
+        sim.schedule_at(2.0, seen.append, None)
+        sim.run()
+        assert seen == ["payload", None]
+
+    def test_simulator_reschedule_rearms_event(self):
+        sim = Simulator()
+        ticks = []
+        holder = {}
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 3:
+                holder["event"] = sim.reschedule(holder["event"], 1.0)
+
+        holder["event"] = sim.schedule(1.0, tick)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_profile_hook_sees_every_dispatch(self):
+        sim = Simulator()
+        seen = []
+        fired = []
+
+        def hook(event):
+            seen.append(event.time)
+            event.dispatch()
+
+        sim.profile_hook = hook
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert seen == [1.0, 2.0]
+        assert fired == ["a", "b"]
+
 
 class TestPeriodicProcess:
     def test_fires_at_interval(self):
@@ -132,6 +320,82 @@ class TestPeriodicProcess:
         sim = Simulator()
         with pytest.raises(ValueError):
             PeriodicProcess(sim, 0.0, lambda: None)
+
+
+class TestSimProfiler:
+    def test_accounts_events_and_buckets(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        profiler.attach(sim)
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b"]
+        report = profiler.report()
+        assert report["events_total"] == 2
+        assert report["seconds_total"] >= 0.0
+        # Test-local lambdas don't belong to any repro subsystem.
+        assert set(report["subsystems"]) == {"other"}
+        assert report["subsystems"]["other"]["events"] == 2
+
+    def test_periodic_ticks_attributed_to_wrapped_callback(self):
+        sim = Simulator()
+        profiler = SimProfiler()
+        profiler.attach(sim)
+        ticks = []
+        PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.0)
+        report = profiler.report()
+        # The tick callback lives in this test module, not in
+        # repro.simulation: the profiler must unwrap PeriodicProcess.
+        assert set(report["subsystems"]) == {"other"}
+        assert report["subsystems"]["other"]["events"] == len(ticks)
+
+    def test_wrap_section_times_and_detaches(self):
+        class Worker:
+            def compute(self, value):
+                return value * 2
+
+        worker = Worker()
+        original = worker.compute
+        profiler = SimProfiler()
+        profiler.wrap_section("work", worker, "compute")
+        assert worker.compute(21) == 42
+        report = profiler.report()
+        assert report["sections"]["work"]["calls"] == 1
+        assert report["sections"]["work"]["seconds"] >= 0.0
+        profiler.detach_sections()
+        assert worker.compute == original
+
+    def test_attach_call_profiles_a_real_run(self):
+        from repro.core.api import build_call_config, run_call
+        from repro.core.config import SystemKind
+        from repro.experiments.common import scenario_paths
+
+        duration, seed = 2.0, 1
+        profiler = SimProfiler()
+        baseline = run_call(
+            build_call_config(SystemKind("converge"), duration=duration,
+                              seed=seed),
+            scenario_paths("driving", duration, seed),
+        )
+        profiled = run_call(
+            build_call_config(SystemKind("converge"), duration=duration,
+                              seed=seed),
+            scenario_paths("driving", duration, seed),
+            profiler=profiler,
+        )
+        # Profiling must not perturb behaviour.
+        assert profiled.summary.average_fps == baseline.summary.average_fps
+        assert (
+            profiled.summary.frames_rendered == baseline.summary.frames_rendered
+        )
+        report = profiler.report()
+        assert report["events_total"] > 0
+        assert "paths" in report["subsystems"]
+        assert report["sections"]["scheduler.assign"]["calls"] > 0
+        assert profiler.format_report().startswith("subsystem")
 
 
 class TestRandomStreams:

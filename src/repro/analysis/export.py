@@ -4,10 +4,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Union
 
 from repro.core.session import CallResult
+from repro.metrics.collector import TimeSeries
 from repro.metrics.recovery import compute_recovery
+
+if TYPE_CHECKING:  # deferred: the runner itself imports this module
+    from repro.experiments.runner import RunReport
 
 
 def result_to_dict(result: CallResult) -> Dict[str, Any]:
@@ -108,7 +112,7 @@ def result_to_dict(result: CallResult) -> Dict[str, Any]:
     }
 
 
-def _series(series) -> Dict[str, list]:
+def _series(series: TimeSeries) -> Dict[str, List[float]]:
     return {"times": list(series.times), "values": list(series.values)}
 
 
@@ -119,7 +123,7 @@ def save_result_json(result: CallResult, path: Union[str, Path]) -> Path:
     return target
 
 
-def run_report_to_dict(report) -> Dict[str, Any]:
+def run_report_to_dict(report: "RunReport") -> Dict[str, Any]:
     """Flatten a :class:`repro.experiments.runner.RunReport` to JSON data.
 
     Includes the runner's wall-clock/cache statistics — the numbers the
@@ -152,7 +156,7 @@ def run_report_to_dict(report) -> Dict[str, Any]:
     }
 
 
-def save_run_report_json(report, path: Union[str, Path]) -> Path:
+def save_run_report_json(report: "RunReport", path: Union[str, Path]) -> Path:
     """Write a runner report (stats + all cell summaries) as JSON."""
     target = Path(path)
     target.write_text(json.dumps(run_report_to_dict(report), indent=2))

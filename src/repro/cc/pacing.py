@@ -47,7 +47,7 @@ class Pacer:
         """Update the target rate the pacer multiplies for ``path_id``."""
         self._rates[path_id] = max(rate_bps, 0.0)
 
-    def enqueue(self, packet, path_id: int) -> None:
+    def enqueue(self, packet: object, path_id: int) -> None:
         """Queue ``packet`` for paced transmission on ``path_id``."""
         queue = self._queues.get(path_id)
         if queue is None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.core.config import CallConfig, FecMode, SystemKind
 from repro.core.session import CallResult, ConferenceCall
@@ -47,7 +47,7 @@ def build_call_config(
     qoe_feedback_enabled: Optional[bool] = None,
     fec_mode: Optional[FecMode] = None,
     label: Optional[str] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> CallConfig:
     """A :class:`CallConfig` with the paper's per-system defaults.
 

@@ -522,7 +522,7 @@ class PathManager:
         back to a small bound and let GCC drain it (§4.3's trade-off).
         """
         gcc = self._states[path_id].gcc
-        min_rtt = gcc.min_rtt if gcc.min_rtt != float("inf") else gcc.srtt
+        min_rtt = gcc.min_rtt if not math.isinf(gcc.min_rtt) else gcc.srtt
         if gcc.srtt > min_rtt + 0.08:
             return min(gcc.loss_estimate, 0.05)
         return max(gcc.loss_estimate, gcc.loss_peak)
@@ -535,7 +535,7 @@ class PathManager:
 
     def min_rtt(self, path_id: int) -> float:
         value = self._states[path_id].gcc.min_rtt
-        return value if value != float("inf") else 0.0
+        return value if not math.isinf(value) else 0.0
 
     def aggregate_loss(self) -> float:
         """Packet-weighted aggregate loss across paths (application level)."""

@@ -1,0 +1,157 @@
+"""Configuration for ``repro lint``, read from ``pyproject.toml``.
+
+The ``[tool.repro-lint]`` block controls which rules run where::
+
+    [tool.repro-lint]
+    paths = ["src/repro"]          # default lint targets
+    disable = []                   # rule IDs switched off entirely
+    warn = []                      # rule IDs demoted to warnings
+
+    [tool.repro-lint.exclude]
+    # Per-rule glob patterns (matched against /-separated paths).
+    R001 = ["src/repro/simulation/profiling.py", "benchmarks/*"]
+
+    [tool.repro-lint.slots-modules]
+    # R005 only applies inside these modules.
+    patterns = ["src/repro/simulation/events.py"]
+
+TOML parsing uses :mod:`tomllib` (Python 3.11+) and degrades
+gracefully: on older interpreters without ``tomli`` the built-in
+defaults below — which mirror the repository's pyproject block — are
+used instead, so the linter's verdict on this tree is identical either
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - 3.9/3.10 fallback
+    try:
+        import tomli as _toml  # type: ignore[import-not-found,no-redef]
+    except ImportError:
+        _toml = None  # type: ignore[assignment]
+
+# Built-in defaults, kept in sync with [tool.repro-lint] in
+# pyproject.toml so a missing TOML parser does not change the verdict.
+DEFAULT_PATHS = ["src/repro"]
+DEFAULT_EXCLUDE: Dict[str, List[str]] = {
+    # Wall-clock reads are the *job* of the profiling module, the
+    # runner's wall/cache statistics, and the result cache's age
+    # accounting; everything else must use Simulator.now.
+    "R001": [
+        "src/repro/simulation/profiling.py",
+        "benchmarks/*",
+    ],
+    # The seeded-stream factory is the one place the stdlib RNG is
+    # constructed.
+    "R002": ["src/repro/simulation/random.py"],
+}
+DEFAULT_SLOTS_MODULES = [
+    "src/repro/simulation/events.py",
+    "src/repro/rtp/packets.py",
+    "src/repro/net/path.py",
+    "src/repro/receiver/packet_buffer.py",
+]
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration the rule engine consumes."""
+
+    paths: List[str] = field(default_factory=lambda: list(DEFAULT_PATHS))
+    disable: List[str] = field(default_factory=list)
+    warn: List[str] = field(default_factory=list)
+    exclude: Dict[str, List[str]] = field(
+        default_factory=lambda: {k: list(v) for k, v in DEFAULT_EXCLUDE.items()}
+    )
+    slots_modules: List[str] = field(
+        default_factory=lambda: list(DEFAULT_SLOTS_MODULES)
+    )
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return rule_id not in self.disable
+
+    def rule_excluded(self, rule_id: str, rel_path: str) -> bool:
+        """True when ``rel_path`` matches an exclude pattern for the rule."""
+        return any(
+            _path_match(rel_path, pattern)
+            for pattern in self.exclude.get(rule_id, [])
+        )
+
+    def is_slots_module(self, rel_path: str) -> bool:
+        return any(
+            _path_match(rel_path, pattern) for pattern in self.slots_modules
+        )
+
+
+def _path_match(rel_path: str, pattern: str) -> bool:
+    """Glob-match on /-separated paths; also accept suffix matches.
+
+    ``src/repro/net/path.py`` matches both the full pattern and the
+    bare ``net/path.py`` form, so configs stay readable and lint runs
+    from any working directory agree.
+    """
+    path = rel_path.replace("\\", "/")
+    if fnmatch(path, pattern) or fnmatch(path, f"*/{pattern}"):
+        return True
+    return False
+
+
+def _as_str_list(value: Any) -> List[str]:
+    if isinstance(value, list):
+        return [str(item) for item in value]
+    if isinstance(value, str):
+        return [value]
+    return []
+
+
+def config_from_dict(data: Dict[str, Any]) -> LintConfig:
+    """Build a :class:`LintConfig` from a parsed ``[tool.repro-lint]``."""
+    config = LintConfig()
+    if "paths" in data:
+        config.paths = _as_str_list(data["paths"])
+    if "disable" in data:
+        config.disable = _as_str_list(data["disable"])
+    if "warn" in data:
+        config.warn = _as_str_list(data["warn"])
+    if "exclude" in data and isinstance(data["exclude"], dict):
+        config.exclude = {
+            str(rule): _as_str_list(patterns)
+            for rule, patterns in data["exclude"].items()
+        }
+    slots = data.get("slots-modules")
+    if isinstance(slots, dict):
+        config.slots_modules = _as_str_list(slots.get("patterns", []))
+    elif slots is not None:
+        config.slots_modules = _as_str_list(slots)
+    return config
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: Optional[Path]) -> LintConfig:
+    """Load ``[tool.repro-lint]`` from ``pyproject``, else defaults."""
+    if pyproject is None or _toml is None or not pyproject.is_file():
+        return LintConfig()
+    with open(pyproject, "rb") as handle:
+        data = _toml.load(handle)
+    section = data.get("tool", {}).get("repro-lint")
+    if not isinstance(section, dict):
+        return LintConfig()
+    return config_from_dict(section)

@@ -1,0 +1,49 @@
+"""The shared diagnostic model every lint rule emits."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How a diagnostic affects the exit code.
+
+    ``ERROR`` diagnostics fail the run (exit code 1); ``WARNING``
+    diagnostics are printed but do not gate.  Every built-in rule
+    defaults to ``ERROR`` — the whole point of a determinism linter is
+    that violations block merges — but a rule can be soft-enabled via
+    ``[tool.repro-lint] warn = ["Rxxx"]`` while a cleanup is staged.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule firing at a specific file and line."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """Render as the conventional ``file:line: RULE message`` line."""
+        return (
+            f"{self.file}:{self.line}: {self.rule} "
+            f"[{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (used by ``repro lint --format json``)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity.value,
+        }

@@ -1,0 +1,242 @@
+"""The ``repro lint`` engine and command line.
+
+Usage::
+
+    repro lint [paths ...] [--format text|json] [--list-rules]
+    python -m repro.devtools.lint src/repro
+
+Runs the simulation-safety rules (R001-R007, see
+:mod:`repro.devtools.rules` and DEVTOOLS.md) over every ``.py`` file
+under the given paths (default: the ``paths`` key of
+``[tool.repro-lint]`` in the nearest ``pyproject.toml``).  A finding on
+a line carrying ``# lint: ok(Rxxx)`` is waived.  Exit code 0 means no
+error-severity findings; 1 means at least one; 2 means the invocation
+itself failed (unreadable path, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Type
+
+from repro.devtools.config import LintConfig, find_pyproject, load_config
+from repro.devtools.diagnostics import Diagnostic, Severity
+from repro.devtools.rules import ALL_RULES, RULES_BY_ID, Rule, run_rules
+
+# ``# lint: ok(R003)`` or ``# lint: ok(R003, R006)`` waives those rules
+# on the line the comment sits on.
+_WAIVER_PATTERN = re.compile(r"#\s*lint:\s*ok\(([^)]*)\)")
+
+
+def parse_waivers(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule IDs waived on that line."""
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_PATTERN.search(line)
+        if match:
+            rules = {
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            if rules:
+                waivers[lineno] = rules
+    return waivers
+
+
+def _enabled_rules(
+    config: LintConfig, rel_path: str
+) -> List[Type[Rule]]:
+    enabled: List[Type[Rule]] = []
+    for rule_class in ALL_RULES:
+        rule_id = rule_class.rule_id
+        if not config.rule_enabled(rule_id):
+            continue
+        if config.rule_excluded(rule_id, rel_path):
+            continue
+        if rule_id == "R005" and not config.is_slots_module(rel_path):
+            continue
+        enabled.append(rule_class)
+    return enabled
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    config: Optional[LintConfig] = None,
+) -> List[Diagnostic]:
+    """Lint one file's text; ``rel_path`` is used for config matching."""
+    config = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                file=rel_path,
+                line=exc.lineno or 1,
+                rule="R000",
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    diagnostics = run_rules(
+        tree, rel_path, _enabled_rules(config, rel_path), config.warn
+    )
+    waivers = parse_waivers(source)
+    if not waivers:
+        return diagnostics
+    return [
+        diagnostic
+        for diagnostic in diagnostics
+        if diagnostic.rule not in waivers.get(diagnostic.line, set())
+    ]
+
+
+def _iter_python_files(root: Path) -> List[Path]:
+    if root.is_file():
+        return [root]
+    return sorted(
+        path
+        for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+        and not any(part.startswith(".") for part in path.parts)
+    )
+
+
+def _display_path(path: Path, base: Path) -> str:
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    base: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """Lint every ``.py`` file under ``paths``; diagnostics sorted."""
+    config = config if config is not None else LintConfig()
+    base = base if base is not None else Path.cwd()
+    diagnostics: List[Diagnostic] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(f"no such path: {raw}")
+        for file_path in _iter_python_files(root):
+            rel = _display_path(file_path, base)
+            source = file_path.read_text(encoding="utf-8")
+            diagnostics.extend(lint_source(source, rel, config))
+    diagnostics.sort(key=lambda d: (d.file, d.line, d.rule))
+    return diagnostics
+
+
+def _print_text(diagnostics: Sequence[Diagnostic]) -> None:
+    for diagnostic in diagnostics:
+        print(diagnostic.format())
+    errors = sum(
+        1 for d in diagnostics if d.severity is Severity.ERROR
+    )
+    warnings = len(diagnostics) - errors
+    if diagnostics:
+        print(f"repro lint: {errors} error(s), {warnings} warning(s)")
+    else:
+        print("repro lint: clean")
+
+
+def _print_json(diagnostics: Sequence[Diagnostic]) -> None:
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    payload = {
+        "tool": "repro-lint",
+        "errors": errors,
+        "warnings": len(diagnostics) - errors,
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _print_rules() -> None:
+    for rule_class in ALL_RULES:
+        print(f"{rule_class.rule_id}  {rule_class.summary}")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint flags (shared with the ``repro lint`` CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: [tool.repro-lint] "
+        "paths from pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--config", metavar="PYPROJECT", default=None,
+        help="explicit pyproject.toml (default: nearest ancestor)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml; run built-in defaults",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+    if args.no_config:
+        config = LintConfig()
+        base = Path.cwd()
+    else:
+        pyproject = (
+            Path(args.config) if args.config else find_pyproject(Path.cwd())
+        )
+        config = load_config(pyproject)
+        base = pyproject.parent if pyproject is not None else Path.cwd()
+    paths = list(args.paths) or [
+        str(base / p) if not Path(p).is_absolute() else p
+        for p in config.paths
+    ]
+    unknown = [r for r in [*config.disable, *config.warn]
+               if r not in RULES_BY_ID and r != "R000"]
+    if unknown:
+        print(
+            f"repro lint: unknown rule id(s) in config: {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        diagnostics = lint_paths(paths, config, base=base)
+    except (FileNotFoundError, OSError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        _print_json(diagnostics)
+    else:
+        _print_text(diagnostics)
+    has_errors = any(d.severity is Severity.ERROR for d in diagnostics)
+    return 1 if has_errors else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulation-safety static analysis (rules R001-R007)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,723 @@
+"""The simulation-safety lint rules (R001-R007).
+
+Each rule is an :class:`ast.NodeVisitor` subclass with a class-level
+``rule_id`` and ``summary``; :func:`run_rules` instantiates the enabled
+rules for one parsed module and collects their
+:class:`~repro.devtools.diagnostics.Diagnostic` findings.
+
+The rules encode invariants this repository's correctness rests on and
+that no off-the-shelf tool checks:
+
+- R001  simulated code must read :attr:`Simulator.now`, never the wall
+        clock — one stray ``time.time()`` breaks byte-identical goldens;
+- R002  all randomness flows through per-cell seeded streams
+        (:class:`repro.simulation.random.RandomStreams`), never the
+        module-global ``random`` or unseeded ``numpy.random``;
+- R003  arithmetic must not silently mix unit-suffixed identifiers
+        (``*_ms`` vs ``*_s``, ``*_bytes`` vs ``*_bits``, ...) — Eq. 1-3
+        of the paper mix ``rtt_i/2``, FCD and pacing intervals where a
+        ms-vs-s slip skews path selection without crashing anything;
+- R004  no float ``==``/``!=`` on times or rates;
+- R005  classes in designated hot-path modules carry ``__slots__``;
+- R006  no lambdas or nested functions into process-pool submissions
+        (picklability) or the event queue (per-packet closure
+        allocation — PR 3's closure elimination stays enforced);
+- R007  no mutable default arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.devtools.diagnostics import Diagnostic, Severity
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: a visitor that appends diagnostics for one file."""
+
+    rule_id = "R000"
+    summary = ""
+
+    def __init__(self, rel_path: str, severity: Severity) -> None:
+        self.rel_path = rel_path
+        self.severity = severity
+        self.diagnostics: List[Diagnostic] = []
+
+    def check(self, tree: ast.Module) -> List[Diagnostic]:
+        self.visit(tree)
+        return self.diagnostics
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                file=self.rel_path,
+                line=getattr(node, "lineno", 1),
+                rule=self.rule_id,
+                message=message,
+                severity=self.severity,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared identifier helpers
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to a dotted string."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# Unit vocabulary for R003/R004.  Each suffix maps to a (dimension,
+# canonical unit) pair; suffixes sharing a canonical unit are aliases.
+_UNIT_SUFFIXES: Dict[str, Tuple[str, str]] = {
+    "_ns": ("time", "ns"),
+    "_us": ("time", "us"),
+    "_ms": ("time", "ms"),
+    "_s": ("time", "s"),
+    "_sec": ("time", "s"),
+    "_secs": ("time", "s"),
+    "_seconds": ("time", "s"),
+    "_bytes": ("size", "bytes"),
+    "_bits": ("size", "bits"),
+    "_bps": ("rate", "bps"),
+    "_kbps": ("rate", "kbps"),
+    "_mbps": ("rate", "mbps"),
+}
+
+# Identifier tokens that mark a value as a time or a rate for R004.
+_TEMPORAL_TOKENS = frozenset(
+    {
+        "time",
+        "timestamp",
+        "now",
+        "rtt",
+        "srtt",
+        "deadline",
+        "delay",
+        "elapsed",
+        "duration",
+        "rate",
+        "bitrate",
+        "goodput",
+        "throughput",
+    }
+)
+
+
+def _identifier_of(node: ast.expr) -> Optional[str]:
+    """The bare identifier an expression reads, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_of(node: ast.expr) -> Optional[Tuple[str, str]]:
+    """The (dimension, unit) an expression carries, if any.
+
+    Names and attributes declare units via their suffix; a unit
+    survives negation and scaling by a unit-less factor
+    (``2 * rtt_ms`` is still milliseconds), which is what lets the
+    rule see through smoothing-filter arithmetic.
+    """
+    if isinstance(node, ast.UnaryOp):
+        return _unit_of(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        left = _unit_of(node.left)
+        right = _unit_of(node.right)
+        if (left is None) != (right is None):
+            return left if left is not None else right
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        # Dividing a united value by a unit-less factor keeps the unit;
+        # anything else (ratios, rates) is out of scope.
+        left = _unit_of(node.left)
+        if left is not None and _unit_of(node.right) is None:
+            return left
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        # A sum carries whatever unit its operands agree on, so mixes
+        # inside chained arithmetic (`a() + x_ms - y_s`) still surface.
+        left = _unit_of(node.left)
+        right = _unit_of(node.right)
+        if left == right:
+            return left
+        if (left is None) != (right is None):
+            return left if left is not None else right
+        return None
+    name = _identifier_of(node)
+    if name is None:
+        return None
+    # Longest suffix wins: ``_seconds`` before ``_s``.
+    for suffix in sorted(_UNIT_SUFFIXES, key=len, reverse=True):
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return _UNIT_SUFFIXES[suffix]
+    return None
+
+
+def _is_temporal(node: ast.expr) -> bool:
+    """True when the expression names a time- or rate-valued quantity."""
+    if _unit_of(node) is not None:
+        return True
+    name = _identifier_of(node)
+    if name is None:
+        return False
+    tokens = name.lower().lstrip("_").split("_")
+    return any(token in _TEMPORAL_TOKENS for token in tokens)
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolves module and symbol aliases for import-sensitive rules."""
+
+    def __init__(self, modules: Sequence[str]) -> None:
+        # module dotted-name -> set of local aliases
+        self.module_aliases: Dict[str, Set[str]] = {m: set() for m in modules}
+        # local name -> "module.symbol" it was imported from
+        self.symbol_aliases: Dict[str, str] = {}
+        self._tracked = set(modules)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in self._tracked and (
+                alias.asname is not None or "." not in alias.name
+            ):
+                self.module_aliases[alias.name].add(
+                    alias.asname or alias.name
+                )
+            # ``import numpy.random`` (no alias) binds ``numpy``.
+            root = alias.name.split(".")[0]
+            if root in self._tracked and alias.asname is None:
+                self.module_aliases[root].add(root)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            full = f"{node.module}.{alias.name}"
+            self.symbol_aliases[local] = full
+            if full in self._tracked:
+                self.module_aliases[full].add(local)
+
+
+# ---------------------------------------------------------------------------
+# R001 — wall clock
+
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    """R001: no wall-clock reads inside simulated code.
+
+    Simulation time is :attr:`Simulator.now`; a single ``time.time()``
+    in a component makes results depend on host speed and breaks the
+    golden determinism fixtures.  Profiling/benchmark modules are
+    excluded via config.
+    """
+
+    rule_id = "R001"
+    summary = "wall-clock read in simulated code (use Simulator.now)"
+
+    def visit_Module(self, node: ast.Module) -> None:
+        tracker = _ImportTracker(["time", "datetime", "datetime.datetime"])
+        tracker.visit(node)
+        self._time_aliases = tracker.module_aliases.get("time", set())
+        self._flagged_symbols = {
+            local
+            for local, full in tracker.symbol_aliases.items()
+            if full in _WALL_CLOCK_CALLS
+        }
+        self._datetime_class_aliases = {
+            local
+            for local, full in tracker.symbol_aliases.items()
+            if full in ("datetime.datetime", "datetime.date")
+        }
+        self._datetime_module_aliases = tracker.module_aliases.get(
+            "datetime", set()
+        )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._flagged_symbols:
+            self.report(node, f"call to wall clock '{func.id}()'")
+        dotted = _dotted_name(func)
+        if dotted is not None:
+            self._check_dotted(node, dotted)
+        self.generic_visit(node)
+
+    def _check_dotted(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        root, rest = parts[0], ".".join(parts[1:])
+        if root in self._time_aliases and f"time.{rest}" in _WALL_CLOCK_CALLS:
+            self.report(node, f"call to wall clock '{dotted}()'")
+        elif (
+            root in self._datetime_class_aliases
+            and rest in ("now", "utcnow", "today")
+        ):
+            self.report(node, f"call to wall clock '{dotted}()'")
+        elif (
+            root in self._datetime_module_aliases
+            and f"datetime.{rest}" in _WALL_CLOCK_CALLS
+        ):
+            self.report(node, f"call to wall clock '{dotted}()'")
+
+
+# ---------------------------------------------------------------------------
+# R002 — module-global randomness
+
+
+# random.Random / SystemRandom construction is fine (that is how the
+# seeded streams are built); drawing from the module-global instance or
+# reseeding it is not.
+_RANDOM_ALLOWED_ATTRS = {"Random", "SystemRandom"}
+_NUMPY_RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+
+
+class GlobalRandomRule(Rule):
+    """R002: randomness must flow through per-cell seeded streams.
+
+    A draw from the module-global ``random`` (or a bare
+    ``numpy.random.*`` call) shares hidden state across cells, so a
+    worker that reorders two cells changes both results and parallel
+    sweeps stop being byte-identical to serial ones.
+    """
+
+    rule_id = "R002"
+    summary = "module-global RNG draw (use seeded RandomStreams)"
+
+    def visit_Module(self, node: ast.Module) -> None:
+        tracker = _ImportTracker(["random", "numpy", "numpy.random"])
+        tracker.visit(node)
+        self._random_aliases = tracker.module_aliases.get("random", set())
+        self._numpy_aliases = tracker.module_aliases.get("numpy", set())
+        self._numpy_random_aliases = tracker.module_aliases.get(
+            "numpy.random", set()
+        )
+        # ``from random import randint`` — any drawing symbol.
+        self._drawing_symbols = {
+            local
+            for local, full in tracker.symbol_aliases.items()
+            if full.startswith("random.")
+            and full.split(".")[1] not in _RANDOM_ALLOWED_ATTRS
+        }
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._drawing_symbols:
+            self.report(
+                node, f"draw from module-global random ('{func.id}()')"
+            )
+        dotted = _dotted_name(func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            root = parts[0]
+            if (
+                root in self._random_aliases
+                and len(parts) == 2
+                and parts[1] not in _RANDOM_ALLOWED_ATTRS
+            ):
+                self.report(
+                    node, f"draw from module-global random ('{dotted}()')"
+                )
+            elif (
+                root in self._numpy_aliases
+                and len(parts) >= 3
+                and parts[1] == "random"
+                and parts[2] not in _NUMPY_RANDOM_ALLOWED
+            ):
+                self.report(
+                    node, f"unseeded numpy.random draw ('{dotted}()')"
+                )
+            elif (
+                root in self._numpy_random_aliases
+                and len(parts) == 2
+                and parts[1] not in _NUMPY_RANDOM_ALLOWED
+            ):
+                self.report(
+                    node, f"unseeded numpy.random draw ('{dotted}()')"
+                )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# R003 — unit-suffix consistency
+
+
+class UnitMixRule(Rule):
+    """R003: additive arithmetic must not mix unit suffixes.
+
+    ``delay_ms + rtt_s`` type-checks, runs, and silently skews every
+    scheduler decision downstream.  Only additive operators and
+    comparisons are checked — multiplication and division are how unit
+    conversions are legitimately written (``size_bytes * 8``).
+    """
+
+    rule_id = "R003"
+    summary = "arithmetic mixes unit-suffixed identifiers"
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node, node.left, node.right)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for left, right in zip(operands, operands[1:]):
+            self._check_pair(node, left, right)
+        self.generic_visit(node)
+
+    def _check_pair(
+        self, node: ast.AST, left: ast.expr, right: ast.expr
+    ) -> None:
+        left_unit = _unit_of(left)
+        right_unit = _unit_of(right)
+        if left_unit is None or right_unit is None:
+            return
+        if left_unit == right_unit:
+            return
+        left_name = _identifier_of(left) or "<expression>"
+        right_name = _identifier_of(right) or "<expression>"
+        if left_unit[0] == right_unit[0]:
+            detail = f"'{left_unit[1]}' vs '{right_unit[1]}'"
+        else:
+            detail = f"'{left_unit[0]}' vs '{right_unit[0]}' dimensions"
+        self.report(
+            node,
+            f"'{left_name}' and '{right_name}' mix {detail}; "
+            "convert explicitly",
+        )
+
+
+# ---------------------------------------------------------------------------
+# R004 — float equality on times/rates
+
+
+class FloatEqualityRule(Rule):
+    """R004: no ``==``/``!=`` on time- or rate-valued floats.
+
+    Simulation timestamps and rates are accumulated floats; exact
+    equality silently stops matching after any reordering of the
+    arithmetic.  Comparisons against integer sentinels (``seq == -1``)
+    stay allowed.
+    """
+
+    rule_id = "R004"
+    summary = "float ==/!= on a time or rate value"
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                self._check_pair(node, left, right)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_int_sentinel(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            value = node.value
+            return value is None or isinstance(value, (int, str, bytes))
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.operand, ast.Constant
+        ):
+            return isinstance(node.operand.value, int) and not isinstance(
+                node.operand.value, bool
+            )
+        return False
+
+    def _check_pair(
+        self, node: ast.AST, left: ast.expr, right: ast.expr
+    ) -> None:
+        left_temporal = _is_temporal(left)
+        right_temporal = _is_temporal(right)
+        if not (left_temporal or right_temporal):
+            return
+        # A compare against an int/None/str sentinel is exact by
+        # construction; everything else (float literals, other names,
+        # call results) is the bug this rule exists for.
+        if self._is_int_sentinel(left) or self._is_int_sentinel(right):
+            return
+        name = _identifier_of(left if left_temporal else right)
+        self.report(
+            node,
+            f"exact float equality on '{name}'; compare with a tolerance "
+            "or restructure",
+        )
+
+
+# ---------------------------------------------------------------------------
+# R005 — __slots__ in hot-path modules
+
+
+_SLOTS_EXEMPT_BASES = {
+    "Exception",
+    "BaseException",
+    "RuntimeError",
+    "ValueError",
+    "Enum",
+    "IntEnum",
+    "Flag",
+    "IntFlag",
+    "NamedTuple",
+    "Protocol",
+    "TypedDict",
+}
+
+
+class SlotsRule(Rule):
+    """R005: classes in designated hot-path modules need ``__slots__``.
+
+    These modules allocate one object per packet or per event; a
+    ``__dict__`` per instance costs both memory and attribute-lookup
+    time in the hottest loops (PR 3 measured this).  Accepted forms:
+    a literal ``__slots__`` in the class body or
+    ``@dataclass(slots=True)``.
+    """
+
+    rule_id = "R005"
+    summary = "hot-path class lacks __slots__"
+
+    # Only instantiated for files matching config.slots_modules; the
+    # engine handles that gating.
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._needs_slots(node):
+            self.generic_visit(node)
+            return
+        if not self._has_slots(node):
+            self.report(
+                node,
+                f"class '{node.name}' in a hot-path module has no "
+                "__slots__ (add one or use @dataclass(slots=True))",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _needs_slots(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = _identifier_of(base)
+            if name in _SLOTS_EXEMPT_BASES:
+                return False
+        return True
+
+    @staticmethod
+    def _has_slots(node: ast.ClassDef) -> bool:
+        for statement in node.body:
+            targets: List[ast.expr] = []
+            if isinstance(statement, ast.Assign):
+                targets = statement.targets
+            elif isinstance(statement, ast.AnnAssign):
+                targets = [statement.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                name = _identifier_of(decorator.func)
+                if name == "dataclass":
+                    for keyword in decorator.keywords:
+                        if (
+                            keyword.arg == "slots"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is True
+                        ):
+                            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# R006 — closures into pools and the event queue
+
+
+_POOL_METHODS = {"submit", "map", "apply_async"}
+_SCHEDULE_METHODS = {"schedule", "schedule_at", "push"}
+
+
+class ClosureCaptureRule(Rule):
+    """R006: no lambdas/nested functions into pools or the event queue.
+
+    A lambda submitted to a :class:`ProcessPoolExecutor` dies at pickle
+    time — but only when a sweep actually goes parallel, which is how
+    it slips through serial tests.  Lambdas scheduled on the event
+    queue allocate one closure per packet; PR 3 removed exactly those,
+    and ``Event.arg`` exists so they stay gone.
+    """
+
+    rule_id = "R006"
+    summary = "lambda/nested function into pool submit or event queue"
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._function_depth = 0
+        self._nested_functions: List[Set[str]] = []
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        name = getattr(node, "name", None)
+        if self._function_depth > 0 and self._nested_functions and name:
+            self._nested_functions[-1].add(name)
+        self._function_depth += 1
+        self._nested_functions.append(set())
+        self.generic_visit(node)
+        self._nested_functions.pop()
+        self._function_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _is_nested_function(self, name: str) -> bool:
+        return any(name in scope for scope in self._nested_functions)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        method = None
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            method = node.func.id
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        if method in _POOL_METHODS and isinstance(node.func, ast.Attribute):
+            for argument in arguments:
+                if isinstance(argument, ast.Lambda):
+                    self.report(
+                        node,
+                        f"lambda passed to '{method}()' cannot be pickled "
+                        "into a worker process",
+                    )
+                elif isinstance(
+                    argument, ast.Name
+                ) and self._is_nested_function(argument.id):
+                    self.report(
+                        node,
+                        f"nested function '{argument.id}' passed to "
+                        f"'{method}()' cannot be pickled into a worker "
+                        "process",
+                    )
+        elif method in _SCHEDULE_METHODS or method == "Event":
+            for argument in arguments:
+                if isinstance(argument, ast.Lambda):
+                    self.report(
+                        node,
+                        f"lambda into '{method}()' allocates a closure per "
+                        "event; use a bound method plus Event.arg",
+                    )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# R007 — mutable default arguments
+
+
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "Counter",
+    "OrderedDict",
+}
+
+
+class MutableDefaultRule(Rule):
+    """R007: no mutable default arguments.
+
+    A shared default list/dict is cross-call (and in the runner,
+    cross-cell) hidden state — the same class of bug R002 bans for
+    RNGs.
+    """
+
+    rule_id = "R007"
+    summary = "mutable default argument"
+
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self.report(
+                    default,
+                    "mutable default argument (literal); default to None "
+                    "and build inside",
+                )
+            elif isinstance(default, ast.Call):
+                name = _identifier_of(default.func)
+                if name in _MUTABLE_FACTORIES:
+                    self.report(
+                        default,
+                        f"mutable default argument ('{name}()'); default "
+                        "to None and build inside",
+                    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    WallClockRule,
+    GlobalRandomRule,
+    UnitMixRule,
+    FloatEqualityRule,
+    SlotsRule,
+    ClosureCaptureRule,
+    MutableDefaultRule,
+)
+
+RULES_BY_ID: Dict[str, Type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def run_rules(
+    tree: ast.Module,
+    rel_path: str,
+    enabled: Iterable[Type[Rule]],
+    warn_rules: Iterable[str] = (),
+) -> List[Diagnostic]:
+    """Run ``enabled`` rules over one parsed module."""
+    warn_set = set(warn_rules)
+    diagnostics: List[Diagnostic] = []
+    for rule_class in enabled:
+        severity = (
+            Severity.WARNING
+            if rule_class.rule_id in warn_set
+            else Severity.ERROR
+        )
+        diagnostics.extend(rule_class(rel_path, severity).check(tree))
+    diagnostics.sort(key=lambda d: (d.file, d.line, d.rule))
+    return diagnostics

@@ -18,7 +18,7 @@ the on-disk result cache.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.api import build_call_config, run_call
 from repro.core.config import SystemKind
@@ -102,7 +102,7 @@ def run_system(
     single_path_id: int = 0,
     label: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
-    **config_kwargs,
+    **config_kwargs: Any,
 ) -> CallResult:
     """Run one system on the given paths and return its result."""
     config = build_call_config(
@@ -125,7 +125,7 @@ def run_chaos(
     num_streams: int = 1,
     seed: int = 1,
     networks: Optional[Sequence[str]] = None,
-    **config_kwargs,
+    **config_kwargs: Any,
 ) -> CallResult:
     """Run one system through an Appendix-D scenario under a canned
     chaos plan (see :mod:`repro.faults.scenarios`)."""

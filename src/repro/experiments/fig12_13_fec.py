@@ -15,7 +15,7 @@ as §6.2's component analysis does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import FecMode, SystemKind
 from repro.experiments.cells import ConstantPaths, make_cell
@@ -46,7 +46,7 @@ class Fec1213Result:
             key=lambda p: p.loss_percent,
         )
 
-    def table5(self) -> List[dict]:
+    def table5(self) -> List[Dict[str, float]]:
         """% improvement of path-specific FEC over the table (per loss)."""
         improvements = []
         table_arm = {p.loss_percent: p for p in self.arm("webrtc-table")}

@@ -29,10 +29,23 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.cells import Cell, canonical_json, cell_key
+
+if TYPE_CHECKING:
+    from repro.simulation.profiling import SimProfiler
 
 # How many submitted-but-unfinished futures to keep per worker; bounds
 # the pickled backlog on huge sweeps without ever starving the pool.
@@ -165,7 +178,7 @@ class CellSummary:
     def series(self, name: str) -> Dict[str, List[float]]:
         return self.data["series"][name]
 
-    def series_pairs(self, name: str) -> List[tuple]:
+    def series_pairs(self, name: str) -> List[Tuple[float, float]]:
         data = self.series(name)
         return list(zip(data["times"], data["values"]))
 
@@ -269,7 +282,9 @@ def results_of(report: RunReport) -> List[CellSummary]:
 # Worker-side execution
 
 
-def execute_cell(cell: Cell, profiler=None) -> Dict[str, Any]:
+def execute_cell(
+    cell: Cell, profiler: Optional["SimProfiler"] = None
+) -> Dict[str, Any]:
     """Run one cell to completion; the module-level worker entry point.
 
     Everything stochastic is derived from ``cell.seed`` inside this
@@ -317,7 +332,7 @@ def _execute_isolated(cell: Cell) -> Dict[str, Any]:
     unpickle arbitrary exception types from a worker, and a poisoned
     cell cannot break the pool.
     """
-    start = time.perf_counter()
+    start = time.perf_counter()  # lint: ok(R001) real wall time
     try:
         payload = execute_cell(cell)
         # Normalize through canonical JSON so a fresh result is the
@@ -328,7 +343,7 @@ def _execute_isolated(cell: Cell) -> Dict[str, Any]:
         return {
             "ok": True,
             "summary": payload,
-            "wall_seconds": time.perf_counter() - start,
+            "wall_seconds": time.perf_counter() - start,  # lint: ok(R001)
         }
     except Exception as exc:  # noqa: BLE001 — isolation is the point
         return {
@@ -338,7 +353,7 @@ def _execute_isolated(cell: Cell) -> Dict[str, Any]:
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
             },
-            "wall_seconds": time.perf_counter() - start,
+            "wall_seconds": time.perf_counter() - start,  # lint: ok(R001)
         }
 
 
@@ -369,7 +384,7 @@ def run_cells(
 
     Returns a :class:`RunReport` with outcomes in input order.
     """
-    start = time.perf_counter()
+    start = time.perf_counter()  # lint: ok(R001) real wall time
     jobs = default_jobs() if jobs is None else max(int(jobs), 1)
     store: Optional[ResultCache] = None
     if cache is not None:
@@ -435,7 +450,7 @@ def run_cells(
             finish,
         )
 
-    stats.wall_seconds = time.perf_counter() - start
+    stats.wall_seconds = time.perf_counter() - start  # lint: ok(R001)
     report = RunReport(outcomes=[o for o in outcomes if o is not None], stats=stats)
     if progress:
         _stats_line(stats)
@@ -474,10 +489,10 @@ def _outcome_from_verdict(
 
 
 def _run_pool(
-    items: Sequence[tuple],
+    items: Sequence[Tuple[str, Cell]],
     jobs: int,
     store: Optional[ResultCache],
-    finish,
+    finish: Callable[[str, "CellOutcome"], None],
 ) -> None:
     """Fan pending cells out over a process pool.
 

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 from repro.core.config import SystemKind
 from repro.experiments.cells import BuilderPaths, ScenarioPaths, make_cell
 from repro.experiments.common import constant_paths
-from repro.experiments.runner import results_of, run_cells
+from repro.experiments.runner import CellSummary, results_of, run_cells
 from repro.metrics.report import format_table
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss
 from repro.receiver.packet_buffer import PacketBufferConfig
@@ -146,7 +146,7 @@ def sweep_loss_model(
     ]
 
 
-def _point(parameter: str, value: float, summary) -> SweepPoint:
+def _point(parameter: str, value: float, summary: CellSummary) -> SweepPoint:
     return SweepPoint(
         parameter=parameter,
         value=value,

@@ -11,7 +11,7 @@ traces can be validated against the published shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.metrics.report import format_table
 from repro.simulation.random import RandomStreams
@@ -66,8 +66,8 @@ def run(duration: float = 180.0, seed: int = 1) -> TraceResult:
 def main(
     duration: float = 180.0,
     seed: int = 1,
-    jobs=None,
-    cache=None,
+    jobs: Optional[int] = None,
+    cache: Optional[str] = None,
     progress: bool = False,
 ) -> str:
     # Trace statistics are pure generation (no simulated calls), so the

@@ -51,8 +51,8 @@ class FaultInjector:
                 self.metrics.record_fault(
                     event.kind.value, event.path_id, event.start, event.end
                 )
-            self.sim.schedule_at(event.start, lambda e=event: self._apply(e))
-            self.sim.schedule_at(event.end, lambda e=event: self._clear(e))
+            self.sim.schedule_at(event.start, self._apply, event)
+            self.sim.schedule_at(event.end, self._clear, event)
 
     def active_faults(self) -> List[FaultEvent]:
         """Fault windows currently in force, ordered by start time."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from typing import Iterable, Tuple
 
 
 class LossModel(ABC):
@@ -51,7 +52,7 @@ class ScheduledLoss(LossModel):
     ``schedule`` is a list of ``(start_time, rate)`` steps.
     """
 
-    def __init__(self, schedule) -> None:
+    def __init__(self, schedule: Iterable[Tuple[float, float]]) -> None:
         steps = sorted(schedule)
         if not steps:
             raise ValueError("schedule must not be empty")

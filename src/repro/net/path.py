@@ -25,11 +25,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Optional, Protocol
 
 from repro.net.loss import LossModel, NoLoss
 from repro.net.trace import BandwidthTrace
 from repro.simulation.simulator import Simulator
+
+
+class SizedPacket(Protocol):
+    """Anything the path can carry: only the wire size matters here."""
+
+    size_bytes: int
 
 # Defaults for PathConfig: below this capacity the link is treated as
 # in outage and polled until it recovers rather than computing absurd
@@ -100,12 +106,34 @@ class Path:
     layer on top of the static configuration and are all reversible.
     """
 
+    __slots__ = (
+        "sim",
+        "config",
+        "path_id",
+        "stats",
+        "on_deliver",
+        "on_feedback_deliver",
+        "_rng",
+        "_jitter_rng",
+        "_feedback_rng",
+        "_queue",
+        "_queued_bytes",
+        "_serving",
+        "_feedback_horizon",
+        "_capacity_cap",
+        "_loss_override",
+        "_extra_delay",
+        "_queue_capacity_override",
+        "_feedback_outage",
+        "_feedback_loss_override",
+    )
+
     def __init__(self, sim: Simulator, config: PathConfig) -> None:
         self.sim = sim
         self.config = config
         self.path_id = config.path_id
         self.stats = PathStats()
-        self.on_deliver: Optional[Callable[[object], None]] = None
+        self.on_deliver: Optional[Callable[[SizedPacket], None]] = None
         self.on_feedback_deliver: Optional[Callable[[object], None]] = None
         self._rng = sim.streams.stream(f"path-loss-{config.path_id}-{config.name}")
         self._jitter_rng = sim.streams.stream(
@@ -116,7 +144,7 @@ class Path:
         self._feedback_rng = sim.streams.stream(
             f"path-feedback-{config.path_id}-{config.name}"
         )
-        self._queue: Deque[object] = deque()
+        self._queue: Deque[SizedPacket] = deque()
         self._queued_bytes = 0
         self._serving = False
         # FIFO horizon of the reverse channel: feedback never delivers
@@ -164,7 +192,7 @@ class Path:
 
     # -- data direction ------------------------------------------------
 
-    def send(self, packet) -> bool:
+    def send(self, packet: SizedPacket) -> bool:
         """Offer ``packet`` (must expose ``size_bytes``) to the path.
 
         Returns ``True`` if the packet entered the link (it may still be
@@ -201,7 +229,7 @@ class Path:
         self._queued_bytes -= size
         sim.schedule(size * 8 / capacity, self._transmitted, packet)
 
-    def _transmitted(self, packet) -> None:
+    def _transmitted(self, packet: SizedPacket) -> None:
         # Schedule the next packet's service as soon as this one leaves
         # the transmitter, then propagate this one.
         self._serve_next()
@@ -215,7 +243,7 @@ class Path:
         delay = config.propagation_delay + self._extra_delay + jitter
         sim.schedule(delay, self._deliver, packet)
 
-    def _deliver(self, packet) -> None:
+    def _deliver(self, packet: SizedPacket) -> None:
         stats = self.stats
         stats.delivered_packets += 1
         stats.delivered_bytes += packet.size_bytes
@@ -224,7 +252,7 @@ class Path:
 
     # -- feedback direction ---------------------------------------------
 
-    def send_feedback(self, message) -> None:
+    def send_feedback(self, message: object) -> None:
         """Carry an RTCP message back to the sender after one-way delay.
 
         Subject to the reverse-channel loss model and outage faults;
@@ -250,7 +278,7 @@ class Path:
         self._feedback_horizon = deliver_at
         self.sim.schedule_at(deliver_at, self._deliver_feedback, message)
 
-    def _deliver_feedback(self, message) -> None:
+    def _deliver_feedback(self, message: object) -> None:
         self.stats.feedback_delivered += 1
         if self.on_feedback_deliver is not None:
             self.on_feedback_deliver(message)

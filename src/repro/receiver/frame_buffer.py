@@ -10,7 +10,7 @@ drop / keyframe-request explosions Table 1 shows for naive multipath.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 from repro.simulation.events import Event
 from repro.simulation.simulator import Simulator
@@ -81,7 +81,7 @@ class FrameBuffer:
         # past the playout deadline): the decode loop treats a gap made
         # only of tombstones as a confirmed chain break instead of
         # waiting out the missing-frame timer.
-        self._tombstones: set = set()
+        self._tombstones: Set[int] = set()
         self._last_insert_time: Optional[float] = None
         self.last_ifd: Optional[float] = None
         self._awaiting_keyframe = True  # nothing decoded yet

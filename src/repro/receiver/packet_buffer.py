@@ -20,7 +20,7 @@ from repro.rtp.sequence import seq_diff
 from repro.video.decoder import AssembledFrame
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketBufferConfig:
     """Capacity and accounting knobs for the packet buffer."""
 
@@ -86,6 +86,9 @@ class PacketBufferStats:
 
 class PacketBuffer:
     """Per-stream frame assembly with bounded capacity."""
+
+    __slots__ = ("ssrc", "config", "stats", "_frames", "_packet_count",
+                 "_dead_frames")
 
     def __init__(self, ssrc: int, config: PacketBufferConfig | None = None) -> None:
         self.ssrc = ssrc

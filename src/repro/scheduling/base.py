@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.rtp.packets import RtpPacket
 
@@ -75,7 +75,7 @@ class ProportionalSplitter:
     """
 
     def __init__(self) -> None:
-        self._carry: dict = {}
+        self._carry: Dict[object, float] = {}
 
     def split(
         self, total: int, keys: Sequence[object], weights: Sequence[float]

@@ -50,7 +50,7 @@ class Event:
     def __init__(
         self,
         time: float,
-        callback: Callable,
+        callback: Callable[..., None],
         arg: object = _NO_ARG,
         queue: Optional["EventQueue"] = None,
     ) -> None:
@@ -110,7 +110,7 @@ class EventQueue:
         return len(self._heap) - self._cancelled
 
     def push(
-        self, time: float, callback: Callable, arg: object = _NO_ARG
+        self, time: float, callback: Callable[..., None], arg: object = _NO_ARG
     ) -> Event:
         """Schedule ``callback`` at absolute ``time`` and return the event."""
         event = Event(time, callback, arg, self)

@@ -34,11 +34,14 @@ unhooked) to measure absolute throughput.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
 
 from repro.simulation.events import _NO_ARG, Event
 from repro.simulation.process import PeriodicProcess
 from repro.simulation.simulator import Simulator
+
+if TYPE_CHECKING:
+    from repro.core.session import ConferenceCall
 
 _BUCKET_BY_PREFIX = (
     ("repro.net.", "paths"),
@@ -77,7 +80,7 @@ class SimProfiler:
         # Bound-method callbacks are recreated per schedule, so the
         # cache keys on the *owning class* (stable across events).
         self._class_buckets: Dict[type, str] = {}
-        self._wrapped: List[Tuple[object, str, Callable]] = []
+        self._wrapped: List[Tuple[object, str, Callable[..., object]]] = []
 
     # -- attachment --------------------------------------------------------
 
@@ -85,7 +88,7 @@ class SimProfiler:
         """Install the per-event hook on ``sim``."""
         sim.profile_hook = self._on_event
 
-    def attach_call(self, call) -> None:
+    def attach_call(self, call: "ConferenceCall") -> None:
         """Hook a :class:`~repro.core.session.ConferenceCall` fully.
 
         Installs the event hook plus section wrappers around the
@@ -110,7 +113,7 @@ class SimProfiler:
         seconds.setdefault(name, 0.0)
         counts.setdefault(name, 0)
 
-        def timed(*args, **kwargs):
+        def timed(*args: object, **kwargs: object) -> object:
             start = perf_counter()
             try:
                 return original(*args, **kwargs)

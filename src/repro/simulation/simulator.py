@@ -34,7 +34,7 @@ class Simulator:
         self.profile_hook: Optional[Callable[[Event], None]] = None
 
     def schedule(
-        self, delay: float, callback: Callable, arg: object = _NO_ARG
+        self, delay: float, callback: Callable[..., None], arg: object = _NO_ARG
     ) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
@@ -59,7 +59,7 @@ class Simulator:
         return event
 
     def schedule_at(
-        self, time: float, callback: Callable, arg: object = _NO_ARG
+        self, time: float, callback: Callable[..., None], arg: object = _NO_ARG
     ) -> Event:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
         if time < self.now:

@@ -93,3 +93,33 @@ class TestCommands:
     def test_profile_rejects_experiment_without_cells(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "sweeps"])
+
+    def test_lint_clean_tree_exits_zero(self, capsys):
+        # The repository gates CI on its own linter: the shipped tree
+        # (with the pyproject config resolved from the repo root) must
+        # be clean.
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_violation_exits_nonzero_with_rule_id(
+        self, capsys, tmp_path
+    ):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n"
+            "def stamp(events_ms, window_s):\n"
+            "    return time.time() + events_ms - window_s\n"
+        )
+        code = main(["lint", str(bad), "--no-config"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        assert "R003" in out
+
+    def test_lint_json_output(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def add(x, acc=[]):\n    acc.append(x)\n")
+        assert main(["lint", str(bad), "--no-config", "--format",
+                     "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"][0]["rule"] == "R007"

@@ -1,0 +1,563 @@
+"""Tests for the simulation-safety linter (repro.devtools).
+
+Every rule gets at least one positive fixture (a crafted snippet it
+must fire on) and one negative fixture (the corrected snippet it must
+stay silent on), plus waiver and pyproject-config behaviour.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.config import (
+    LintConfig,
+    config_from_dict,
+    load_config,
+)
+from repro.devtools.diagnostics import Diagnostic, Severity
+from repro.devtools.lint import lint_paths, lint_source, main, parse_waivers
+
+
+def lint(source, rel_path="src/repro/example.py", config=None):
+    return lint_source(textwrap.dedent(source), rel_path, config)
+
+
+def rules_fired(source, **kwargs):
+    return sorted({d.rule for d in lint(source, **kwargs)})
+
+
+# ---------------------------------------------------------------------------
+# R001 — wall clock
+
+
+class TestWallClock:
+    def test_time_time_fires(self):
+        assert rules_fired(
+            """
+            import time
+            def stamp():
+                return time.time()
+            """
+        ) == ["R001"]
+
+    def test_perf_counter_from_import_fires(self):
+        assert rules_fired(
+            """
+            from time import perf_counter
+            def stamp():
+                return perf_counter()
+            """
+        ) == ["R001"]
+
+    def test_aliased_module_fires(self):
+        assert rules_fired(
+            """
+            import time as clock
+            x = clock.monotonic()
+            """
+        ) == ["R001"]
+
+    def test_datetime_now_fires(self):
+        assert rules_fired(
+            """
+            from datetime import datetime
+            stamp = datetime.now()
+            """
+        ) == ["R001"]
+
+    def test_simulator_now_is_clean(self):
+        assert rules_fired(
+            """
+            def stamp(sim):
+                return sim.now
+            """
+        ) == []
+
+    def test_time_sleep_is_clean(self):
+        # Only clock *reads* are flagged, not the rest of the module.
+        assert rules_fired(
+            """
+            import time
+            time.sleep(0.1)
+            """
+        ) == []
+
+    def test_excluded_module_is_clean(self):
+        config = config_from_dict(
+            {"exclude": {"R001": ["src/repro/simulation/profiling.py"]}}
+        )
+        source = """
+        import time
+        t = time.time()
+        """
+        assert (
+            lint(
+                source,
+                rel_path="src/repro/simulation/profiling.py",
+                config=config,
+            )
+            == []
+        )
+        assert rules_fired(source, config=config) == ["R001"]
+
+
+# ---------------------------------------------------------------------------
+# R002 — module-global randomness
+
+
+class TestGlobalRandom:
+    def test_module_global_draw_fires(self):
+        assert rules_fired(
+            """
+            import random
+            x = random.random()
+            """
+        ) == ["R002"]
+
+    def test_from_import_draw_fires(self):
+        assert rules_fired(
+            """
+            from random import randint
+            x = randint(0, 10)
+            """
+        ) == ["R002"]
+
+    def test_seeding_global_fires(self):
+        assert rules_fired(
+            """
+            import random
+            random.seed(42)
+            """
+        ) == ["R002"]
+
+    def test_numpy_global_draw_fires(self):
+        assert rules_fired(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """
+        ) == ["R002"]
+
+    def test_seeded_instance_is_clean(self):
+        assert rules_fired(
+            """
+            import random
+            def build(seed: int) -> random.Random:
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        ) == []
+
+    def test_numpy_default_rng_is_clean(self):
+        assert rules_fired(
+            """
+            import numpy as np
+            rng = np.random.default_rng(7)
+            x = rng.normal()
+            """
+        ) == []
+
+    def test_annotation_only_use_is_clean(self):
+        # net/loss.py-style: `random` imported purely for type hints.
+        assert rules_fired(
+            """
+            import random
+            def draw(rng: random.Random) -> float:
+                return rng.random()
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# R003 — unit-suffix consistency
+
+
+class TestUnitMix:
+    def test_ms_plus_s_fires(self):
+        assert rules_fired("total = delay_ms + rtt_s\n") == ["R003"]
+
+    def test_bytes_vs_bits_comparison_fires(self):
+        assert rules_fired(
+            """
+            if queued_bytes > budget_bits:
+                pass
+            """
+        ) == ["R003"]
+
+    def test_scaled_operand_fires(self):
+        # The unit survives scaling by a unitless factor.
+        assert rules_fired("x = delay_ms + 2 * rtt_s\n") == ["R003"]
+
+    def test_cross_dimension_fires(self):
+        assert rules_fired("x = delay_ms - size_bytes\n") == ["R003"]
+
+    def test_matching_units_are_clean(self):
+        assert rules_fired("total_ms = delay_ms + jitter_ms\n") == []
+
+    def test_alias_suffixes_are_clean(self):
+        # _s, _sec and _seconds are the same unit.
+        assert rules_fired("t = wall_seconds + pause_s\n") == []
+
+    def test_multiplicative_conversion_is_clean(self):
+        # Multiplication/division is how conversions are written.
+        assert rules_fired("rate = size_bytes * 8 / window_s\n") == []
+
+    def test_attribute_operands_fire(self):
+        assert rules_fired(
+            "gap = self.deadline_ms - self.elapsed_s\n"
+        ) == ["R003"]
+
+
+# ---------------------------------------------------------------------------
+# R004 — float equality on times/rates
+
+
+class TestFloatEquality:
+    def test_time_equality_fires(self):
+        assert rules_fired(
+            """
+            if arrival_time == departure_time:
+                pass
+            """
+        ) == ["R004"]
+
+    def test_rate_float_literal_fires(self):
+        assert rules_fired(
+            """
+            if target_rate != 2.5:
+                pass
+            """
+        ) == ["R004"]
+
+    def test_int_sentinel_is_clean(self):
+        assert rules_fired(
+            """
+            if frame_time == 0:
+                pass
+            """
+        ) == []
+
+    def test_none_check_is_clean(self):
+        assert rules_fired(
+            """
+            if send_time == None:
+                pass
+            """
+        ) == []
+
+    def test_ordering_comparison_is_clean(self):
+        assert rules_fired(
+            """
+            if now >= deadline:
+                pass
+            """
+        ) == []
+
+    def test_non_temporal_equality_is_clean(self):
+        assert rules_fired(
+            """
+            if name == other_name:
+                pass
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# R005 — __slots__ in hot-path modules
+
+
+HOT_CONFIG = config_from_dict(
+    {"slots-modules": {"patterns": ["src/repro/hot.py"]}}
+)
+
+
+class TestSlots:
+    def test_plain_class_fires(self):
+        assert rules_fired(
+            """
+            class Packet:
+                def __init__(self):
+                    self.seq = 0
+            """,
+            rel_path="src/repro/hot.py",
+            config=HOT_CONFIG,
+        ) == ["R005"]
+
+    def test_slotted_class_is_clean(self):
+        assert rules_fired(
+            """
+            class Packet:
+                __slots__ = ("seq",)
+                def __init__(self):
+                    self.seq = 0
+            """,
+            rel_path="src/repro/hot.py",
+            config=HOT_CONFIG,
+        ) == []
+
+    def test_dataclass_slots_true_is_clean(self):
+        assert rules_fired(
+            """
+            from dataclasses import dataclass
+            @dataclass(slots=True)
+            class Packet:
+                seq: int = 0
+            """,
+            rel_path="src/repro/hot.py",
+            config=HOT_CONFIG,
+        ) == []
+
+    def test_plain_dataclass_fires(self):
+        assert rules_fired(
+            """
+            from dataclasses import dataclass
+            @dataclass
+            class Packet:
+                seq: int = 0
+            """,
+            rel_path="src/repro/hot.py",
+            config=HOT_CONFIG,
+        ) == ["R005"]
+
+    def test_enum_and_exception_exempt(self):
+        assert rules_fired(
+            """
+            from enum import Enum
+            class Kind(Enum):
+                A = 1
+            class BufferError(Exception):
+                pass
+            """,
+            rel_path="src/repro/hot.py",
+            config=HOT_CONFIG,
+        ) == []
+
+    def test_non_hot_module_is_clean(self):
+        assert rules_fired(
+            """
+            class Anything:
+                pass
+            """,
+            rel_path="src/repro/cold.py",
+            config=HOT_CONFIG,
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# R006 — closures into pools and the event queue
+
+
+class TestClosureCapture:
+    def test_lambda_to_submit_fires(self):
+        assert rules_fired(
+            """
+            def sweep(pool, cell):
+                return pool.submit(lambda: cell.run())
+            """
+        ) == ["R006"]
+
+    def test_nested_function_to_submit_fires(self):
+        assert rules_fired(
+            """
+            def sweep(pool, cell):
+                def work():
+                    return cell.run()
+                return pool.submit(work)
+            """
+        ) == ["R006"]
+
+    def test_module_level_function_is_clean(self):
+        assert rules_fired(
+            """
+            def work(cell):
+                return cell.run()
+            def sweep(pool, cell):
+                return pool.submit(work, cell)
+            """
+        ) == []
+
+    def test_lambda_into_schedule_fires(self):
+        assert rules_fired(
+            """
+            def arm(sim, event):
+                sim.schedule_at(event.start, lambda: apply(event))
+            """
+        ) == ["R006"]
+
+    def test_event_arg_form_is_clean(self):
+        assert rules_fired(
+            """
+            def arm(sim, event):
+                sim.schedule_at(event.start, apply, event)
+            """
+        ) == []
+
+    def test_unrelated_lambda_is_clean(self):
+        assert rules_fired(
+            "order = sorted(items, key=lambda item: item.start)\n"
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# R007 — mutable default arguments
+
+
+class TestMutableDefault:
+    def test_list_literal_fires(self):
+        assert rules_fired("def add(item, acc=[]):\n    acc.append(item)\n") \
+            == ["R007"]
+
+    def test_dict_call_fires(self):
+        assert rules_fired("def add(item, acc=dict()):\n    pass\n") \
+            == ["R007"]
+
+    def test_none_default_is_clean(self):
+        assert rules_fired(
+            """
+            def add(item, acc=None):
+                acc = [] if acc is None else acc
+            """
+        ) == []
+
+    def test_immutable_defaults_are_clean(self):
+        assert rules_fired(
+            "def window(size=8, name='x', bounds=(0, 1)):\n    pass\n"
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# Waivers, config, engine plumbing
+
+
+class TestWaivers:
+    def test_waiver_suppresses_on_its_line(self):
+        source = """
+        import time
+        t = time.time()  # lint: ok(R001) wall-clock stat by design
+        """
+        assert lint(source) == []
+
+    def test_waiver_is_rule_specific(self):
+        source = """
+        import time
+        t = time.time()  # lint: ok(R003)
+        """
+        assert rules_fired(source) == ["R001"]
+
+    def test_waiver_with_multiple_rules(self):
+        waivers = parse_waivers("x = 1  # lint: ok(R001, R003)\n")
+        assert waivers == {1: {"R001", "R003"}}
+
+    def test_waiver_only_covers_its_line(self):
+        source = """
+        import time
+        a = time.time()  # lint: ok(R001)
+        b = time.time()
+        """
+        diagnostics = lint(source)
+        assert [d.rule for d in diagnostics] == ["R001"]
+        assert diagnostics[0].line == 4
+
+
+class TestConfig:
+    def test_disable_turns_rule_off(self):
+        config = config_from_dict({"disable": ["R001"]})
+        assert rules_fired(
+            "import time\nt = time.time()\n", config=config
+        ) == []
+
+    def test_warn_demotes_severity(self):
+        config = config_from_dict({"warn": ["R001"]})
+        diagnostics = lint("import time\nt = time.time()\n", config=config)
+        assert [d.severity for d in diagnostics] == [Severity.WARNING]
+
+    def test_repo_pyproject_parses(self):
+        # The real pyproject block must load and carry the R001/R002
+        # excludes and the four hot-path modules.
+        from pathlib import Path
+
+        config = load_config(Path(__file__).parent.parent / "pyproject.toml")
+        assert config.paths == ["src/repro"]
+        assert any("profiling" in p for p in config.exclude["R001"])
+        assert any("events" in p for p in config.slots_modules)
+
+    def test_default_config_used_without_pyproject(self):
+        config = load_config(None)
+        assert isinstance(config, LintConfig)
+        assert config.paths == ["src/repro"]
+
+
+class TestEngine:
+    def test_syntax_error_becomes_r000(self):
+        diagnostics = lint("def broken(:\n")
+        assert [d.rule for d in diagnostics] == ["R000"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_diagnostic_format_and_dict(self):
+        diagnostic = Diagnostic("a.py", 3, "R001", "boom")
+        assert diagnostic.format() == "a.py:3: R001 [error] boom"
+        assert diagnostic.to_dict()["severity"] == "error"
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "bad.py").write_text("import time\nt = time.time()\n")
+        (package / "good.py").write_text("x = 1\n")
+        diagnostics = lint_paths([str(package)], base=tmp_path)
+        assert [(d.file, d.rule) for d in diagnostics] == [
+            ("pkg/bad.py", "R001")
+        ]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["no/such/dir"])
+
+
+class TestMain:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path), "--no-config"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_with_rule_id(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        assert main([str(tmp_path), "--no-config"]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        assert main([str(tmp_path), "--no-config", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["rule"] == "R001"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006",
+                        "R007"):
+            assert rule_id in out
+
+    def test_warn_only_findings_exit_zero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            f'paths = ["{tmp_path.as_posix()}"]\n'
+            'warn = ["R001"]\n'
+        )
+        assert main(["--config", str(pyproject), str(tmp_path)]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_repo_tree_is_clean(self):
+        # The linter gates CI on its own repository: src/repro (which
+        # includes repro.devtools itself) must lint clean.
+        from pathlib import Path
+
+        repo = Path(__file__).parent.parent
+        config = load_config(repo / "pyproject.toml")
+        diagnostics = lint_paths(
+            [str(repo / "src" / "repro")], config, base=repo
+        )
+        assert diagnostics == []

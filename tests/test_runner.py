@@ -204,6 +204,36 @@ class TestRunCells:
             canonical_json(d) for d in cached_data
         ]
 
+    def test_grid_pool_and_serial_stay_byte_identical(self):
+        # Regression for the R006 audit: everything run_cells submits
+        # to the pool must be picklable, and fanning a grid out across
+        # workers must not perturb a single byte of any result.
+        grid = expand_grid(
+            [ConstantPaths((8e6, 8e6), (0.02, 0.03), (0.01, 0.0))],
+            [SystemKind.CONVERGE, SystemKind.SRTT],
+            [1, 2],
+            duration=2.0,
+        )
+        serial = run_cells(grid, jobs=1)
+        pooled = run_cells(grid, jobs=2)
+        assert [canonical_json(s.data) for s in results_of(serial)] == [
+            canonical_json(s.data) for s in results_of(pooled)
+        ]
+
+    def test_worker_submission_is_picklable(self):
+        # The pool pickles (function, cell) pairs; a lambda or nested
+        # function here would die at submit time but only on parallel
+        # runs, which is exactly what lint rule R006 guards against.
+        import pickle
+
+        from repro.experiments.runner import _execute_isolated
+
+        function, cell = pickle.loads(
+            pickle.dumps((_execute_isolated, _cell()))
+        )
+        verdict = function(cell)
+        assert verdict["ok"] is True
+
     def test_cache_reuse_rate(self, tmp_path):
         cells = [_cell(seed=seed) for seed in (1, 2, 3)]
         first = run_cells(cells, jobs=1, cache=tmp_path)

@@ -8,7 +8,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Union
 
 from repro.core.session import CallResult
 from repro.metrics.collector import TimeSeries
-from repro.metrics.recovery import compute_recovery
+from repro.metrics.recovery import compute_churn_recovery, compute_recovery
 
 if TYPE_CHECKING:  # deferred: the runner itself imports this module
     from repro.experiments.runner import RunReport
@@ -23,7 +23,7 @@ def result_to_dict(result: CallResult) -> Dict[str, Any]:
     """
     summary = result.summary
     metrics = result.metrics
-    return {
+    payload: Dict[str, Any] = {
         "label": result.label,
         "config": {
             "system": result.config.system.value,
@@ -110,6 +110,31 @@ def result_to_dict(result: CallResult) -> Dict[str, Any]:
             ],
         },
     }
+    if metrics.churn_events:
+        # Conditional so churn-free payloads stay byte-identical to
+        # their pre-lifecycle golden fixtures.
+        report = compute_churn_recovery(metrics, result.config.duration)
+        payload["churn"] = {
+            "events": [
+                {"time": time, "path_id": path_id, "action": action}
+                for time, path_id, action in metrics.churn_events
+            ],
+            "recovery": [
+                {
+                    "time": e.time,
+                    "path_id": e.path_id,
+                    "action": e.action,
+                    "time_to_next_render": e.time_to_next_render,
+                    "render_gap": e.render_gap,
+                    "survived": e.survived,
+                }
+                for e in report.events
+            ],
+            "session_survived": report.session_survived,
+            "max_render_gap": report.max_render_gap,
+            "worst_migration_latency": report.worst_migration_latency,
+        }
+    return payload
 
 
 def _series(series: TimeSeries) -> Dict[str, List[float]]:
@@ -141,6 +166,9 @@ def run_report_to_dict(report: "RunReport") -> Dict[str, Any]:
             "wall_seconds": report.stats.wall_seconds,
             "simulated_seconds": report.stats.simulated_seconds,
             "executed_wall_seconds": report.stats.executed_wall_seconds,
+            "timeouts": report.stats.timeouts,
+            "retried": report.stats.retried,
+            "quarantined": list(report.stats.quarantined),
         },
         "cells": [
             {

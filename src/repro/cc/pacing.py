@@ -10,7 +10,7 @@ are queued and released at ``pacing_factor * path_rate``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict
+from typing import Callable, Deque, Dict, List
 
 from repro.simulation.events import Event
 from repro.simulation.simulator import Simulator
@@ -78,3 +78,18 @@ class Pacer:
 
     def queued_packets(self, path_id: int) -> int:
         return len(self._queues.get(path_id, ()))
+
+    def drain_path(self, path_id: int) -> List[object]:
+        """Pull everything queued for ``path_id`` and forget the path.
+
+        Used when a path dies mid-call: the still-queued packets are
+        returned to the caller (which reroutes the ones worth saving)
+        instead of being paced into a link that no longer exists.
+        """
+        queue = self._queues.pop(path_id, None)
+        self._rates.pop(path_id, None)
+        self._draining.pop(path_id, None)
+        event = self._drain_events.pop(path_id, None)
+        if event is not None:
+            event.cancel()
+        return list(queue) if queue else []

@@ -60,11 +60,11 @@ EXPERIMENTS = {
     "traces": traces_appendix,
 }
 
-SCENARIOS = ("stationary", "walking", "driving")
+SCENARIOS = ("stationary", "walking", "driving", "migration")
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
-    """The three flags every runner-backed command shares."""
+    """The flags every runner-backed command shares."""
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes (default: all cores; 1 = serial)",
@@ -76,6 +76,11 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress", action="store_true",
         help="print one line per finished cell to stderr",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell; a cell that exceeds it is "
+        "retried once, then quarantined as a structured error",
     )
 
 
@@ -245,7 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_single_cell(cell: Cell, args: argparse.Namespace) -> CellSummary:
     """Run one cell through the runner; returns its CellSummary."""
     report = run_cells(
-        [cell], jobs=args.jobs, cache=args.cache, progress=args.progress
+        [cell],
+        jobs=args.jobs,
+        cache=args.cache,
+        progress=args.progress,
+        cell_timeout=args.cell_timeout,
     )
     return results_of(report)[0]
 
@@ -325,6 +334,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     summary = _run_single_cell(cell, args)
     faults = summary.faults
+    churn = summary.data.get("churn")
     print(
         format_table(
             ["metric", "value"],
@@ -333,6 +343,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 ["scenario", args.scenario],
                 ["chaos plan", args.chaos],
                 ["faults injected", len(faults["injected"])],
+                ["churn events", len(churn["events"]) if churn else 0],
                 ["average FPS", summary.average_fps],
                 ["throughput (Mbps)", summary.throughput_bps / 1e6],
                 ["E2E mean (ms)", 1000 * summary.e2e_mean],
@@ -341,13 +352,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ],
         )
     )
+
+    def fmt(value: Optional[float]) -> str:
+        return f"{value:.2f}" if value is not None else "never"
+
     recoveries = faults.get("recovery", [])
     if recoveries:
         print()
-
-        def fmt(value: Optional[float]) -> str:
-            return f"{value:.2f}" if value is not None else "never"
-
         print(
             format_table(
                 ["fault", "path", "window (s)", "re-enable (s)",
@@ -364,6 +375,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     for r in recoveries
                 ],
             )
+        )
+    if churn:
+        print()
+        print(
+            format_table(
+                ["churn", "path", "t (s)", "next render (s)",
+                 "render gap (s)", "survived"],
+                [
+                    [
+                        e["action"],
+                        e["path_id"],
+                        f"{e['time']:.1f}",
+                        fmt(e["time_to_next_render"]),
+                        f"{e['render_gap']:.2f}",
+                        "yes" if e["survived"] else "NO",
+                    ]
+                    for e in churn["recovery"]
+                ],
+            )
+        )
+        survived = "yes" if churn["session_survived"] else "NO"
+        print(
+            f"\nsession survived churn: {survived} "
+            f"(max render gap {churn['max_render_gap']:.2f}s)"
         )
     if args.plot:
         _print_charts(summary, args.duration)
@@ -385,7 +420,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         for system in SystemKind
     ]
     report = run_cells(
-        job_list, jobs=args.jobs, cache=args.cache, progress=args.progress
+        job_list,
+        jobs=args.jobs,
+        cache=args.cache,
+        progress=args.progress,
+        cell_timeout=args.cell_timeout,
     )
     rows = []
     for summary in results_of(report):
@@ -421,7 +460,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         num_streams=args.streams,
     )
     report = run_cells(
-        job_list, jobs=args.jobs, cache=args.cache, progress=args.progress
+        job_list,
+        jobs=args.jobs,
+        cache=args.cache,
+        progress=args.progress,
+        cell_timeout=args.cell_timeout,
     )
     # Per (scenario, system) seed-averaged rows; failures counted, not fatal.
     rows = []
@@ -455,12 +498,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     stats = report.stats
+    extra = ""
+    if stats.retried or stats.timeouts:
+        extra = f", {stats.retried} retried, {stats.timeouts} timeouts"
     print(
         f"\n{stats.cells_total} cells ({stats.cells_unique} unique), "
         f"{stats.executed} executed, {stats.cache_hits} cached "
-        f"({100 * stats.cache_hit_rate:.0f}%), {stats.errors} errors, "
+        f"({100 * stats.cache_hit_rate:.0f}%), {stats.errors} errors{extra}, "
         f"{stats.wall_seconds:.1f}s wall on {stats.jobs} jobs"
     )
+    if stats.quarantined:
+        print(
+            f"quarantined {len(stats.quarantined)} poison cell(s): "
+            + ", ".join(stats.quarantined)
+        )
     if args.json:
         target = save_run_report_json(report, args.json)
         print(f"wrote {target}")

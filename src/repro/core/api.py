@@ -87,6 +87,7 @@ def run_call(
     scheduler: Optional[Scheduler] = None,
     fault_plan: Optional[FaultPlan] = None,
     profiler: Optional[SimProfiler] = None,
+    churn_scenario: Optional[str] = None,
 ) -> CallResult:
     """Run one simulated conference call and return its QoE result.
 
@@ -94,6 +95,8 @@ def run_call(
     of network/feedback faults into the call's paths.  ``profiler``
     optionally attaches a :class:`repro.simulation.SimProfiler` that
     accounts wall time per subsystem (at some dispatch overhead).
+    ``churn_scenario`` names the trace scenario used to synthesize
+    paths born mid-call when the plan carries churn BIRTH events.
     """
     paths: List[PathConfig] = list(path_configs)
     if not paths:
@@ -101,6 +104,11 @@ def run_call(
     if scheduler is None:
         scheduler = build_scheduler(config)
     call = ConferenceCall(
-        config, paths, scheduler, fault_plan=fault_plan, profiler=profiler
+        config,
+        paths,
+        scheduler,
+        fault_plan=fault_plan,
+        profiler=profiler,
+        churn_scenario=churn_scenario,
     )
     return call.run()

@@ -91,6 +91,10 @@ class _PathState:
     # wait actually applied before the next probe.
     probe_interval: float = 0.2
     probe_wait: float = 0.2
+    # Graceful teardown: the path takes no new media (zero Eq. 1
+    # weight, invisible to schedulers) but keeps processing feedback so
+    # in-flight packets can still be acknowledged before removal.
+    draining: bool = False
 
 
 class PathManager:
@@ -108,14 +112,9 @@ class PathManager:
         self.paths = paths
         self.watchdog = watchdog or WatchdogConfig()
         self.metrics = metrics
+        self._gcc_config = gcc_config
         self._states: Dict[int, _PathState] = {
-            pid: _PathState(
-                gcc=GoogleCongestionControl(pid, gcc_config),
-                reenable_backoff=self.watchdog.reenable_backoff_initial,
-                probe_interval=self.watchdog.probe_interval_initial,
-                probe_wait=self.watchdog.probe_interval_initial,
-            )
-            for pid in paths.path_ids
+            pid: self._new_state(pid) for pid in paths.path_ids
         }
         self.last_fcd: float = 0.0
         self._decay_process = PeriodicProcess(
@@ -126,6 +125,62 @@ class PathManager:
         self._probe_rng = sim.streams.stream("path-manager-probe-jitter")
         # The most recent packet bound per path, used as probe material.
         self._last_bound: Optional[RtpPacket] = None
+
+    def _new_state(self, path_id: int) -> _PathState:
+        return _PathState(
+            gcc=GoogleCongestionControl(path_id, self._gcc_config),
+            reenable_backoff=self.watchdog.reenable_backoff_initial,
+            probe_interval=self.watchdog.probe_interval_initial,
+            probe_wait=self.watchdog.probe_interval_initial,
+        )
+
+    # -- path lifecycle ----------------------------------------------------
+
+    def add_path(self, path_id: int) -> None:
+        """Create fresh sender-side state for a path born mid-call.
+
+        The new path starts enabled with a bootstrap GCC estimate;
+        Eq. 1 re-normalizes on the next scheduling round, so survivors
+        shed share to the newcomer only as its estimate earns it.
+        """
+        if path_id in self._states:
+            raise ValueError(f"path {path_id} already managed")
+        self._states[path_id] = self._new_state(path_id)
+
+    def begin_drain(self, path_id: int) -> None:
+        """Stop offering new media to ``path_id`` but keep feedback.
+
+        The drain leg of graceful removal: schedulers no longer see the
+        path (its Eq. 1 weight is zero and it is excluded from
+        snapshots), while transport feedback for packets already on the
+        wire keeps flowing so they are acked rather than presumed lost.
+        """
+        self._states[path_id].draining = True
+
+    def remove_path(self, path_id: int) -> List[int]:
+        """Drop all state for ``path_id``; returns in-flight seq numbers.
+
+        The returned multipath transport sequence numbers identify
+        packets sent on the dying path that were never acknowledged —
+        the sender reroutes those to surviving paths as priority
+        retransmissions.  Removing the state removes the path's Eq. 1
+        weight, Eq. 2 adjustment and fractional carry, so budgets
+        re-normalize across the survivors on the next round.
+        """
+        state = self._states.pop(path_id)
+        return sorted(state.sent)
+
+    def has_path(self, path_id: int) -> bool:
+        return path_id in self._states
+
+    def is_draining(self, path_id: int) -> bool:
+        return self._states[path_id].draining
+
+    def draining_path_ids(self) -> List[int]:
+        return [pid for pid, s in self._states.items() if s.draining]
+
+    def managed_path_ids(self) -> List[int]:
+        return list(self._states)
 
     # -- packet binding ----------------------------------------------------
 
@@ -251,7 +306,7 @@ class PathManager:
     def _update_watchdog(self, now: float) -> None:
         """Degrade enabled paths whose feedback has gone silent."""
         for path_id, state in self._states.items():
-            if not state.enabled or state.degraded:
+            if not state.enabled or state.degraded or state.draining:
                 continue
             if self._silence_age(state, now) > self.watchdog.degrade_timeout:
                 state.degraded = True
@@ -283,9 +338,12 @@ class PathManager:
 
     def feedback_starved(self) -> bool:
         """True when no enabled path has live (non-silent) feedback."""
-        return all(
-            s.degraded for s in self._states.values() if s.enabled
-        ) and any(s.enabled for s in self._states.values())
+        live = [
+            s
+            for s in self._states.values()
+            if s.enabled and not s.draining
+        ]
+        return bool(live) and all(s.degraded for s in live)
 
     def _record_event(self, now: float, path_id: int, event: str) -> None:
         if self.metrics is not None:
@@ -309,10 +367,16 @@ class PathManager:
             return self._effective_rate(state, now) * penalty
 
         total_rate = sum(
-            weight(s) for s in states.values() if s.enabled
+            weight(s)
+            for s in states.values()
+            if s.enabled and not s.draining
         )
         snapshots: List[PathSnapshot] = []
         for path_id, state in states.items():
+            if state.draining:
+                # A draining path is invisible to schedulers: no new
+                # media rides it, only in-flight acks drain off.
+                continue
             rate = self._effective_rate(state, now)
             interval = 1.0 / 30.0  # one scheduling round per frame tick
             max_packets = max(
@@ -362,11 +426,21 @@ class PathManager:
     def _update_enablement(self, now: float) -> None:
         wd = self.watchdog
         fast_srtt = min(
-            (s.gcc.srtt for s in self._states.values() if s.enabled),
+            (
+                s.gcc.srtt
+                for s in self._states.values()
+                if s.enabled and not s.draining
+            ),
             default=0.1,
         )
-        enabled_count = sum(1 for s in self._states.values() if s.enabled)
+        enabled_count = sum(
+            1 for s in self._states.values() if s.enabled and not s.draining
+        )
         for path_id, state in self._states.items():
+            if state.draining:
+                # Lifecycle transitions are pointless on a path being
+                # torn down; it leaves the state machine as-is.
+                continue
             if state.enabled:
                 silent = (
                     self._silence_age(state, now) > wd.silence_timeout
@@ -449,7 +523,7 @@ class PathManager:
         total = 0.0
         any_live = False
         for state in self._states.values():
-            if not state.enabled:
+            if not state.enabled or state.draining:
                 continue
             if state.degraded:
                 any_live = True
@@ -464,6 +538,8 @@ class PathManager:
                 total += state.gcc.target_rate
         if not any_live:
             # Bootstrap: no feedback yet anywhere, start conservative.
+            # (Falls back over every state — draining included — so a
+            # transient all-draining window cannot raise on min().)
             return min(
                 s.gcc.target_rate
                 for s in self._states.values()
@@ -484,7 +560,7 @@ class PathManager:
         total = 0.0
         any_live = False
         for state in self._states.values():
-            if not state.enabled:
+            if not state.enabled or state.draining:
                 continue
             if state.degraded:
                 any_live = True
@@ -506,10 +582,18 @@ class PathManager:
         return total
 
     def enabled_path_ids(self) -> List[int]:
-        return [pid for pid, s in self._states.items() if s.enabled]
+        return [
+            pid
+            for pid, s in self._states.items()
+            if s.enabled and not s.draining
+        ]
 
     def disabled_path_ids(self) -> List[int]:
-        return [pid for pid, s in self._states.items() if not s.enabled]
+        return [
+            pid
+            for pid, s in self._states.items()
+            if not s.enabled and not s.draining
+        ]
 
     def loss_estimate(self, path_id: int) -> float:
         return self._states[path_id].gcc.loss_estimate

@@ -55,6 +55,11 @@ _CAPACITY_PROBE_INTERVAL = 2.0
 _PROBE_BURST_PACKETS = 8
 _PROBE_PACKET_BYTES = 800
 _PADDING_SSRC = 0
+# Cap on in-flight packets rerouted when a path dies.  A path that
+# dies with a deep unacked backlog mostly held stale media; replaying
+# all of it onto the survivors would displace live frames, so only the
+# newest packets (the ones a receiver could still render) are saved.
+_REROUTE_LIMIT = 64
 
 
 @dataclass
@@ -344,9 +349,13 @@ class SenderSession:
         """Entry point for all receiver-to-sender RTCP."""
         if isinstance(message, TransportFeedback):
             self.path_manager.on_transport_feedback(message)
-            self.pacer.set_path_rate(
-                message.path_id, self.path_manager.pacing_rate(message.path_id)
-            )
+            # Late feedback for a path that already left the call is
+            # still possible (its last report rides a surviving path).
+            if self.path_manager.has_path(message.path_id):
+                self.pacer.set_path_rate(
+                    message.path_id,
+                    self.path_manager.pacing_rate(message.path_id),
+                )
         elif isinstance(message, ReceiverReport):
             self.path_manager.on_receiver_report(message)
             self._webrtc_fec.on_loss_report(self.path_manager.aggregate_loss())
@@ -513,6 +522,80 @@ class SenderSession:
                     # Probes bypass the pacer: they are single duplicate
                     # packets used purely for path measurement.
                     self.paths.get(path_id).send(probe)
+
+    # -- path lifecycle ----------------------------------------------------------
+
+    def on_path_added(self, path_id: int) -> None:
+        """Register sender-side state for a path born mid-call."""
+        self.path_manager.add_path(path_id)
+        self.pacer.set_path_rate(
+            path_id, self.path_manager.pacing_rate(path_id)
+        )
+        self.scheduler.on_path_added(path_id)
+
+    def begin_path_drain(self, path_id: int) -> None:
+        """Graceful removal, leg one: stop new media, keep feedback."""
+        self.path_manager.begin_drain(path_id)
+
+    def on_path_removed(self, path_id: int) -> None:
+        """Tear down sender state for a path that left the call.
+
+        Packets still unacknowledged on the dying path — both those on
+        the wire (tracked by the path manager) and those waiting in its
+        pacer queue — are rerouted to the surviving paths.  Sent-but-
+        unacked media goes out as priority retransmissions (Table 2
+        priority 1, so the fast-path rule applies); never-sent queue
+        residue is rescheduled as-is.  Path-specific FEC and padding
+        probes for the dead path are discarded: their redundancy
+        targets no longer exist.
+        """
+        now = self.sim.now
+        in_flight = self.path_manager.remove_path(path_id)
+        leftover = self.pacer.drain_path(path_id)
+        self.scheduler.on_path_removed(path_id)
+        self._converge_fec.forget_path(path_id)
+
+        rtx_packets: List[RtpPacket] = []
+        wanted = set(in_flight[-_REROUTE_LIMIT:])
+        if wanted:
+            for stream in self._streams.values():
+                for original in stream.rtx_history.values():
+                    if (
+                        original.path_id == path_id
+                        and original.mp_transport_seq in wanted
+                    ):
+                        self._rtx_seq += 1
+                        rtx_packets.append(
+                            original.clone_for_retransmission(
+                                self._rtx_seq, now
+                            )
+                        )
+        to_reroute = rtx_packets + [
+            p
+            for p in leftover
+            if isinstance(p, RtpPacket)
+            and p.ssrc != _PADDING_SSRC
+            and p.packet_type is not PacketType.FEC
+        ]
+        if not to_reroute:
+            return
+        avg_size = max(
+            sum(p.size_bytes for p in to_reroute) // len(to_reroute), 1
+        )
+        snapshots = self.path_manager.snapshots(
+            len(to_reroute), avg_size, now
+        )
+        if not snapshots:
+            return
+        # The reroute bypasses the RTX rate budget: this traffic was
+        # already admitted once, on the path that just vanished.
+        for packet, target in self.scheduler.assign(
+            to_reroute, snapshots, now
+        ):
+            if target == DROP_PATH:
+                self.packets_shed += 1
+                continue
+            self.pacer.enqueue(packet, target)
 
     # -- egress ------------------------------------------------------------------
 

@@ -7,6 +7,12 @@ from typing import List, Optional
 
 from repro.core.config import CallConfig
 from repro.core.sender import SenderSession
+from repro.core.signaling import (
+    PathAnnouncement,
+    PathSignalingLog,
+    PathTeardown,
+)
+from repro.faults.churn import ChurnDriver
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
@@ -19,6 +25,18 @@ from repro.scheduling.base import Scheduler
 from repro.simulation.process import PeriodicProcess
 from repro.simulation.profiling import SimProfiler
 from repro.simulation.simulator import Simulator
+from repro.traces.scenarios import (
+    make_loss_model,
+    make_scenario_trace,
+    propagation_delay,
+    scenario_networks,
+)
+
+# Grace window bounds for a graceful path drain: long enough for the
+# last in-flight packets' acks to return (≈ 2 RTTs plus one transport
+# feedback interval), short enough not to hold dead state around.
+_DRAIN_GRACE_MIN = 0.2
+_DRAIN_GRACE_MAX = 1.0
 
 
 @dataclass
@@ -44,17 +62,27 @@ class ConferenceCall:
         scheduler: Scheduler,
         fault_plan: Optional[FaultPlan] = None,
         profiler: Optional["SimProfiler"] = None,
+        churn_scenario: Optional[str] = None,
     ) -> None:
         self.config = config
         self.sim = Simulator(config.seed)
         self.paths = PathSet(self.sim, path_configs)
         self.metrics = MetricsCollector()
+        self.scheduler = scheduler
+        # Trace scenario used to synthesize capacity/loss for paths
+        # born mid-call (churn BIRTH events); None disables births.
+        self._churn_scenario = churn_scenario
+        self.signaling = PathSignalingLog()
         self.fault_injector: Optional[FaultInjector] = None
         if fault_plan is not None and len(fault_plan):
             self.fault_injector = FaultInjector(
                 self.sim, self.paths, fault_plan, self.metrics
             )
             self.fault_injector.arm()
+        self.churn_driver: Optional[ChurnDriver] = None
+        if fault_plan is not None and fault_plan.churn:
+            self.churn_driver = ChurnDriver(self.sim, self, fault_plan.churn)
+            self.churn_driver.arm()
         ssrcs = [index + 1 for index in range(config.num_streams)]
         self.receiver = ReceiverSession(
             self.sim,
@@ -88,6 +116,103 @@ class ConferenceCall:
         self.sim.schedule(
             self._rtcp_delay, self.receiver.on_rtcp_from_sender, message
         )
+
+    # -- path lifecycle ----------------------------------------------------
+
+    def add_path(self, path_id: int, network: str) -> None:
+        """Bring a new path up mid-call (WiFi association, LTE attach).
+
+        The path is announced over signaling, wired into both
+        endpoints, and starts with a bootstrap GCC estimate; schedulers
+        see it in the next round's snapshots and Eq. 1 re-normalizes
+        the split as its estimate earns share.
+        """
+        if self._churn_scenario is None:
+            raise ValueError(
+                "cannot synthesize a mid-call path without a trace "
+                "scenario (pass churn_scenario to the call)"
+            )
+        now = self.sim.now
+        networks = scenario_networks(self._churn_scenario)
+        if network not in networks:
+            # Chaos plans name the migration scenario's WiFi/LTE
+            # profiles; under any other scenario the birth attaches to
+            # a profile it actually has, chosen deterministically, so
+            # churn runs compose with every trace scenario.
+            network = sorted(networks)[path_id % len(networks)]
+        # The new path's trace rides a forked stream namespace so its
+        # randomness never perturbs draws of the initial paths.
+        streams = self.sim.streams.fork(f"churn-path-{path_id}-{network}")
+        config = PathConfig(
+            path_id=path_id,
+            trace=make_scenario_trace(
+                self._churn_scenario, network, self.config.duration, streams
+            ),
+            propagation_delay=propagation_delay(
+                self._churn_scenario, network
+            ),
+            loss_model=make_loss_model(self._churn_scenario, network),
+            name=network,
+        )
+        path = self.paths.add_path(config)
+        path.on_feedback_deliver = self.sender.on_rtcp
+        self.receiver.on_path_added(path_id)
+        self.sender.on_path_added(path_id)
+        self._rtcp_delay = min(
+            p.config.propagation_delay for p in self.paths
+        )
+        self.signaling.announce(PathAnnouncement(path_id, network, now))
+        self.metrics.record_churn_event(now, path_id, "birth")
+
+    def remove_path(self, path_id: int, graceful: bool = False) -> None:
+        """Tear a path down mid-call.
+
+        Abrupt (``graceful=False``): the interface vanished — ingress
+        is detached immediately, in-flight packets reroute to the
+        survivors as priority retransmissions.  Graceful: the path
+        stops taking new media but keeps its feedback channel for a
+        short grace window so in-flight packets are acked, then the
+        residue (if any) reroutes and the path is removed.
+        """
+        if path_id not in self.paths:
+            raise KeyError(f"unknown path id {path_id}")
+        pm = self.sender.path_manager
+        live = [
+            pid
+            for pid in self.paths.path_ids
+            if pid != path_id and not pm.is_draining(pid)
+        ]
+        if not live:
+            raise ValueError("cannot remove the last live path of a call")
+        now = self.sim.now
+        self.signaling.tear_down(PathTeardown(path_id, graceful, now))
+        if graceful:
+            self.sender.begin_path_drain(path_id)
+            self.metrics.record_churn_event(now, path_id, "drain")
+            grace = min(
+                max(2.0 * pm.srtt(path_id), _DRAIN_GRACE_MIN),
+                _DRAIN_GRACE_MAX,
+            )
+            self.sim.schedule(grace, self._finalize_removal, path_id)
+        else:
+            self.metrics.record_churn_event(now, path_id, "death")
+            self._finalize_removal(path_id)
+
+    def _finalize_removal(self, path_id: int) -> None:
+        if path_id not in self.paths:
+            return  # already removed
+        path = self.paths.remove_path(path_id)
+        # Detach ingress so anything still propagating on the dead
+        # path's wire silently evaporates instead of resurrecting
+        # receiver state.
+        path.on_deliver = None
+        path.on_feedback_deliver = None
+        self.receiver.on_path_removed(path_id)
+        self.sender.on_path_removed(path_id)
+        self._rtcp_delay = min(
+            p.config.propagation_delay for p in self.paths
+        )
+        self.metrics.record_churn_event(self.sim.now, path_id, "removed")
 
     def _sample(self) -> None:
         self.metrics.record_receive_rate_sample(self.sim.now)

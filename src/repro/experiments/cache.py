@@ -8,11 +8,16 @@ Python floats exactly).
 
 Writes are atomic (temp file + rename) so a crashed or parallel
 writer can never leave a torn entry; concurrent writers of the same
-key both write the same content, so the race is benign.
+key both write the same content, so the race is benign.  Every entry
+carries a SHA-256 checksum of its canonical summary bytes, validated
+on load: a corrupt, truncated or tampered file (disk faults, partial
+copies, editor accidents) is deleted and read as a plain miss, never
+served as data and never crashing a sweep.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -22,6 +27,11 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.experiments.cells import CODE_VERSION, canonical_json
+
+
+def summary_checksum(summary: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON encoding of a summary payload."""
+    return hashlib.sha256(canonical_json(summary).encode()).hexdigest()
 
 
 def default_cache_dir() -> Path:
@@ -60,26 +70,53 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[CacheEntry]:
-        """Return the entry for ``key`` or None; torn files read as misses."""
+        """Return the entry for ``key`` or ``None``.
+
+        A file that fails integrity validation — torn JSON, a foreign
+        key, a missing or mismatching summary checksum — is deleted on
+        the spot and reported as a miss, so one corrupt entry costs a
+        re-simulation instead of poisoning every later sweep.
+        """
         target = self.path_for(key)
         try:
             raw = target.read_text()
         except OSError:
             return None
-        try:
-            data = json.loads(raw)
-        except ValueError:
-            return None
-        if data.get("key") != key:
+        data = self._validated(key, raw)
+        if data is None:
+            self._discard(target)
             return None
         return CacheEntry(
             key=key,
             cell=data.get("cell", {}),
-            summary=data.get("summary", {}),
+            summary=data["summary"],
             code_version=data.get("code_version", ""),
             created=data.get("created", 0.0),
             wall_seconds=data.get("wall_seconds", 0.0),
         )
+
+    @staticmethod
+    def _validated(key: str, raw: str) -> Optional[Dict[str, Any]]:
+        """Parse and integrity-check one entry; None means corrupt."""
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            return None
+        if not isinstance(data, dict) or data.get("key") != key:
+            return None
+        summary = data.get("summary")
+        if not isinstance(summary, dict):
+            return None
+        if data.get("checksum") != summary_checksum(summary):
+            return None
+        return data
+
+    @staticmethod
+    def _discard(target: Path) -> None:
+        try:
+            target.unlink()
+        except OSError:
+            pass
 
     def put(
         self,
@@ -95,6 +132,7 @@ class ResultCache:
             "key": key,
             "cell": cell,
             "summary": summary,
+            "checksum": summary_checksum(summary),
             "code_version": CODE_VERSION,
             # Cache metadata wants real wall-clock age, not sim time.
             "created": time.time(),  # lint: ok(R001)

@@ -102,6 +102,7 @@ def run_system(
     single_path_id: int = 0,
     label: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    churn_scenario: Optional[str] = None,
     **config_kwargs: Any,
 ) -> CallResult:
     """Run one system on the given paths and return its result."""
@@ -114,7 +115,12 @@ def run_system(
         label=label,
         **config_kwargs,
     )
-    return run_call(config, path_configs, fault_plan=fault_plan)
+    return run_call(
+        config,
+        path_configs,
+        fault_plan=fault_plan,
+        churn_scenario=churn_scenario,
+    )
 
 
 def run_chaos(
@@ -141,6 +147,7 @@ def run_chaos(
         seed=seed,
         label=f"{system.value}+{chaos}",
         fault_plan=plan,
+        churn_scenario=scenario,
         **config_kwargs,
     )
 

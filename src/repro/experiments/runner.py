@@ -12,6 +12,10 @@ jobs.  This module executes such a list:
   simulated twice;
 - with failure isolation: a crashing cell yields a structured
   :class:`CellOutcome` error instead of killing the sweep;
+- with poison-cell containment: an optional per-cell wall-clock
+  timeout (SIGALRM, POSIX only), one retry for failed or timed-out
+  cells, and quarantine — a cell that fails every attempt is reported
+  in the run summary, never raised mid-sweep;
 - with per-cell progress lines and wall-clock/cache-hit statistics
   (:class:`RunStats`) that the benchmarks export.
 
@@ -24,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import sys
 import time
 import traceback
@@ -243,6 +248,10 @@ class RunStats:
     simulated_seconds: float = 0.0
     # Sum of per-cell execution wall time (serial-equivalent cost).
     executed_wall_seconds: float = 0.0
+    # Poison-cell containment accounting.
+    timeouts: int = 0
+    retried: int = 0
+    quarantined: List[str] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -298,6 +307,7 @@ def execute_cell(
     """
     from repro.analysis.export import result_to_dict
     from repro.core.api import build_call_config, run_call
+    from repro.experiments.cells import ScenarioPaths
     from repro.faults.scenarios import build_chaos_plan
 
     path_configs = cell.paths.build(cell.duration, cell.seed)
@@ -319,20 +329,88 @@ def execute_cell(
         label=label,
         **cell.override_kwargs(),
     )
+    # Churn BIRTH events need a trace scenario to synthesize the new
+    # path's capacity/loss; scenario cells carry one naturally.
+    churn_scenario = (
+        cell.paths.scenario if isinstance(cell.paths, ScenarioPaths) else None
+    )
     result = run_call(
-        config, path_configs, fault_plan=fault_plan, profiler=profiler
+        config,
+        path_configs,
+        fault_plan=fault_plan,
+        profiler=profiler,
+        churn_scenario=churn_scenario,
     )
     return result_to_dict(result)
 
 
-def _execute_isolated(cell: Cell) -> Dict[str, Any]:
+class _CellTimeoutError(Exception):
+    """A cell blew through its wall-clock budget (SIGALRM fired)."""
+
+
+def _execute_isolated(
+    cell: Cell, timeout: Optional[float] = None
+) -> Dict[str, Any]:
     """Worker wrapper: convert any exception to a structured error.
 
     Exceptions are flattened to plain data so the parent never has to
     unpickle arbitrary exception types from a worker, and a poisoned
-    cell cannot break the pool.
+    cell cannot break the pool.  ``timeout`` bounds the cell's real
+    wall-clock time via SIGALRM where the platform has it (POSIX main
+    thread); elsewhere the cell runs unguarded rather than failing.
     """
     start = time.perf_counter()  # lint: ok(R001) real wall time
+    armed = False
+    previous: Any = None
+    fired = {"flag": False}
+    message = f"cell exceeded {timeout}s wall-clock budget"
+    if timeout is not None and timeout > 0 and hasattr(signal, "SIGALRM"):
+
+        def _on_alarm(signum: int, frame: Any) -> None:
+            fired["flag"] = True
+            raise _CellTimeoutError(message)
+
+        try:
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+        except ValueError:
+            pass  # not the main thread: no alarm available here
+        else:
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+            armed = True
+    try:
+        verdict = _run_guarded(cell, start)
+    except _CellTimeoutError as exc:
+        # The alarm can fire in the sliver between _run_guarded's
+        # handlers and the disarm below; keep it from escaping.
+        verdict = _timeout_verdict(str(exc), start)
+    finally:
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    if fired["flag"] and verdict.get("ok"):
+        # The interpreter discards a signal-raised exception when it
+        # lands in a frame that cannot propagate it (e.g. a GC
+        # callback), letting the cell run to completion anyway.  The
+        # budget still governs the verdict: the alarm fired, so the
+        # cell is over budget regardless of how it ended.
+        verdict = _timeout_verdict(message, start)
+    return verdict
+
+
+def _timeout_verdict(message: str, start: float) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "timed_out": True,
+        "error": {
+            "type": "CellTimeout",
+            "message": message,
+            "traceback": message,
+        },
+        "wall_seconds": time.perf_counter() - start,  # lint: ok(R001)
+    }
+
+
+def _run_guarded(cell: Cell, start: float) -> Dict[str, Any]:
     try:
         payload = execute_cell(cell)
         # Normalize through canonical JSON so a fresh result is the
@@ -343,6 +421,17 @@ def _execute_isolated(cell: Cell) -> Dict[str, Any]:
         return {
             "ok": True,
             "summary": payload,
+            "wall_seconds": time.perf_counter() - start,  # lint: ok(R001)
+        }
+    except _CellTimeoutError as exc:
+        return {
+            "ok": False,
+            "timed_out": True,
+            "error": {
+                "type": "CellTimeout",
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
             "wall_seconds": time.perf_counter() - start,  # lint: ok(R001)
         }
     except Exception as exc:  # noqa: BLE001 — isolation is the point
@@ -373,6 +462,8 @@ def run_cells(
     jobs: Optional[int] = None,
     cache: Union[ResultCache, str, os.PathLike, None] = None,
     progress: bool = False,
+    cell_timeout: Optional[float] = None,
+    retries: int = 1,
 ) -> RunReport:
     """Execute ``cells``, fanning out across processes and the cache.
 
@@ -381,6 +472,10 @@ def run_cells(
     (identical results, no pool overhead).  ``cache`` — a
     :class:`ResultCache`, a directory path, or ``None`` to disable
     caching.  ``progress`` — emit one line per finished cell to stderr.
+    ``cell_timeout`` — per-cell wall-clock budget in seconds (SIGALRM
+    on POSIX; no-op where unavailable).  ``retries`` — extra attempts
+    for a failed or timed-out cell before it is quarantined: reported
+    as a structured error in the run summary, never raised mid-sweep.
 
     Returns a :class:`RunReport` with outcomes in input order.
     """
@@ -415,6 +510,12 @@ def run_cells(
                 stats.executed += 1
         else:
             stats.errors += 1
+            error = outcome.error or {}
+            if error.get("type") == "CellTimeout":
+                stats.timeouts += 1
+            stats.quarantined.append(
+                f"{outcome.cell.effective_label} seed={outcome.cell.seed}"
+            )
         stats.executed_wall_seconds += outcome.wall_seconds
         for index in positions[key]:
             outcomes[index] = outcome
@@ -441,13 +542,21 @@ def run_cells(
 
     if jobs <= 1 or len(pending) <= 1:
         for key in pending:
-            finish(key, _run_one(unique[key], key, store))
+            finish(
+                key,
+                _run_one(
+                    unique[key], key, store, cell_timeout, retries, stats
+                ),
+            )
     else:
         _run_pool(
             [(key, unique[key]) for key in pending],
             jobs,
             store,
             finish,
+            cell_timeout,
+            retries,
+            stats,
         )
 
     stats.wall_seconds = time.perf_counter() - start  # lint: ok(R001)
@@ -458,11 +567,30 @@ def run_cells(
 
 
 def _run_one(
-    cell: Cell, key: str, store: Optional[ResultCache]
+    cell: Cell,
+    key: str,
+    store: Optional[ResultCache],
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    stats: Optional[RunStats] = None,
 ) -> CellOutcome:
-    """Execute one cell in-process (the serial path)."""
-    verdict = _execute_isolated(cell)
+    """Execute one cell in-process (the serial path), with retries."""
+    verdict = _execute_isolated(cell, timeout)
+    attempt = 0
+    while not verdict["ok"] and attempt < retries:
+        attempt += 1
+        if stats is not None:
+            _note_retry(stats, verdict)
+        verdict = _execute_isolated(cell, timeout)
     return _outcome_from_verdict(cell, key, verdict, store)
+
+
+def _note_retry(stats: RunStats, verdict: Dict[str, Any]) -> None:
+    """Account for one discarded (retried) attempt."""
+    stats.retried += 1
+    stats.executed_wall_seconds += verdict.get("wall_seconds", 0.0)
+    if verdict.get("timed_out"):
+        stats.timeouts += 1
 
 
 def _outcome_from_verdict(
@@ -493,6 +621,9 @@ def _run_pool(
     jobs: int,
     store: Optional[ResultCache],
     finish: Callable[[str, "CellOutcome"], None],
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    stats: Optional[RunStats] = None,
 ) -> None:
     """Fan pending cells out over a process pool.
 
@@ -501,11 +632,24 @@ def _run_pool(
     front, and results are consumed as they complete so cache writes
     and progress lines happen promptly.  A worker that dies outright
     (e.g. OOM-killed) poisons only the cells in flight: they are
-    reported as structured errors and the sweep continues in a fresh
-    pool.
+    retried (up to ``retries``) or reported as structured errors, and
+    the sweep continues in a fresh pool.  Failed and timed-out cells
+    are re-queued up to ``retries`` times before they are finished as
+    quarantined errors.
     """
     queue = list(items)
     jobs = min(jobs, len(queue))
+    attempts: Dict[str, int] = {}
+
+    def retry_or_none(key: str, verdict: Dict[str, Any]) -> bool:
+        """True if the cell was re-queued for another attempt."""
+        if attempts.get(key, 0) >= retries:
+            return False
+        attempts[key] = attempts.get(key, 0) + 1
+        if stats is not None:
+            _note_retry(stats, verdict)
+        return True
+
     while queue:
         crashed = False
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -514,7 +658,10 @@ def _run_pool(
             while queue or futures:
                 while queue and len(futures) < window and not crashed:
                     key, cell = queue.pop(0)
-                    futures[pool.submit(_execute_isolated, cell)] = (key, cell)
+                    futures[pool.submit(_execute_isolated, cell, timeout)] = (
+                        key,
+                        cell,
+                    )
                 if not futures:
                     break
                 finished, _ = wait(futures, return_when=FIRST_COMPLETED)
@@ -524,6 +671,9 @@ def _run_pool(
                         verdict = future.result()
                     except Exception as exc:  # BrokenProcessPool et al.
                         crashed = True
+                        if retry_or_none(key, {"wall_seconds": 0.0}):
+                            queue.append((key, cell))
+                            continue
                         finish(
                             key,
                             CellOutcome(
@@ -536,6 +686,9 @@ def _run_pool(
                                 },
                             ),
                         )
+                        continue
+                    if not verdict["ok"] and retry_or_none(key, verdict):
+                        queue.append((key, cell))
                         continue
                     finish(key, _outcome_from_verdict(cell, key, verdict, store))
                 if crashed:
@@ -566,12 +719,23 @@ def _progress_line(done: int, total: int, outcome: CellOutcome) -> None:
 
 
 def _stats_line(stats: RunStats) -> None:
+    extra = ""
+    if stats.retried or stats.timeouts:
+        extra = f", {stats.retried} retried, {stats.timeouts} timeouts"
     print(
         f"sweep: {stats.cells_total} cells ({stats.cells_unique} unique), "
         f"{stats.executed} executed, {stats.cache_hits} cached "
-        f"({100 * stats.cache_hit_rate:.0f}%), {stats.errors} errors, "
+        f"({100 * stats.cache_hit_rate:.0f}%), {stats.errors} errors{extra}, "
         f"{stats.wall_seconds:.1f}s wall on {stats.jobs} jobs "
         f"({stats.executed_wall_seconds:.1f}s serial-equivalent)",
         file=sys.stderr,
         flush=True,
     )
+    if stats.quarantined:
+        names = ", ".join(stats.quarantined)
+        print(
+            f"quarantined {len(stats.quarantined)} poison "
+            f"cell(s): {names}",
+            file=sys.stderr,
+            flush=True,
+        )

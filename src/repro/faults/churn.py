@@ -1,0 +1,51 @@
+"""Applies a plan's path churn schedule to a running call.
+
+The churn driver is the membership counterpart of the
+:class:`repro.faults.injector.FaultInjector`: where the injector flips
+reversible overrides on still-registered paths, the driver changes the
+path set itself — births wire a brand-new path into both endpoints,
+deaths and drains tear one down through the call's lifecycle methods
+(:meth:`repro.core.session.ConferenceCall.add_path` /
+:meth:`~repro.core.session.ConferenceCall.remove_path`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.faults.plan import ChurnAction, PathChurnEvent
+from repro.simulation.simulator import Simulator
+
+if TYPE_CHECKING:
+    from repro.core.session import ConferenceCall
+
+
+class ChurnDriver:
+    """Schedules and applies the churn events of one plan."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        call: "ConferenceCall",
+        churn: List[PathChurnEvent],
+    ) -> None:
+        self.sim = sim
+        self.call = call
+        self.churn = list(churn)
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every churn event; idempotent."""
+        if self._armed:
+            return
+        self._armed = True
+        for event in self.churn:
+            self.sim.schedule_at(event.time, self._apply, event)
+
+    def _apply(self, event: PathChurnEvent) -> None:
+        if event.action is ChurnAction.BIRTH:
+            self.call.add_path(event.path_id, event.network)
+        elif event.action is ChurnAction.DEATH:
+            self.call.remove_path(event.path_id, graceful=False)
+        else:
+            self.call.remove_path(event.path_id, graceful=True)

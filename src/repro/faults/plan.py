@@ -29,6 +29,14 @@ class FaultKind(Enum):
     FEEDBACK_LOSS = "feedback-loss"  # feedback Bernoulli loss at `magnitude`
 
 
+class ChurnAction(Enum):
+    """Path membership changes the churn driver knows how to apply."""
+
+    BIRTH = "birth"  # a new path joins the call at `time`
+    DEATH = "death"  # an existing path is torn down abruptly
+    DRAIN = "drain"  # graceful teardown: drain in-flight, then remove
+
+
 # Kinds whose ``magnitude`` is a probability in [0, 1].
 _RATE_KINDS = (FaultKind.LOSS_STORM, FaultKind.FEEDBACK_LOSS)
 # Kinds whose ``magnitude`` must be a positive quantity.
@@ -94,17 +102,88 @@ class FaultEvent:
         )
 
 
+@dataclass(frozen=True)
+class PathChurnEvent:
+    """One path membership change at one instant.
+
+    Unlike :class:`FaultEvent` (a window against a still-registered
+    path) churn events are instants that change the path set itself.
+    ``BIRTH`` needs a ``network`` (the trace profile the new path runs
+    on); ``DEATH``/``DRAIN`` target an existing path by id.
+    """
+
+    action: ChurnAction
+    path_id: int
+    time: float
+    # BIRTH only: which network profile of the scenario the new path
+    # uses for its capacity trace / loss model / propagation delay.
+    network: str = ""
+
+    def __post_init__(self) -> None:
+        if self.path_id < 0:
+            raise ValueError(f"path_id must be non-negative: {self.path_id}")
+        if self.time < 0:
+            raise ValueError(f"churn time must be non-negative: {self.time}")
+        if self.action is ChurnAction.BIRTH and not self.network:
+            raise ValueError("a BIRTH event needs a network name")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "action": self.action.value,
+            "path_id": self.path_id,
+            "time": self.time,
+            "network": self.network,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PathChurnEvent":
+        return cls(
+            action=ChurnAction(data["action"]),
+            path_id=int(data["path_id"]),
+            time=float(data["time"]),
+            network=str(data.get("network", "")),
+        )
+
+
 @dataclass
 class FaultPlan:
     """A validated schedule of fault events for one call."""
 
     events: List[FaultEvent] = field(default_factory=list)
+    # Path membership changes, applied by the churn driver.  Kept
+    # separate from the window events: ``__len__``/iteration remain
+    # fault-window views so existing consumers (the injector, CLI
+    # tables) are unaffected by churn-only plans.
+    churn: List[PathChurnEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.events = sorted(
             self.events, key=lambda e: (e.start, e.path_id, e.kind.value)
         )
+        self.churn = sorted(
+            self.churn, key=lambda e: (e.time, e.path_id, e.action.value)
+        )
         self._check_overlaps()
+        self._check_churn()
+
+    def _check_churn(self) -> None:
+        # A path id must alternate dead->born->dead...: two births
+        # without an intervening death (or vice versa) is a plan bug.
+        alive: Dict[int, bool] = {}
+        for event in self.churn:
+            was_alive = alive.get(event.path_id)
+            if event.action is ChurnAction.BIRTH:
+                if was_alive is True:
+                    raise ValueError(
+                        f"path {event.path_id} born twice without a death"
+                    )
+                alive[event.path_id] = True
+            else:
+                if was_alive is False:
+                    raise ValueError(
+                        f"path {event.path_id} removed twice without a birth"
+                    )
+                alive[event.path_id] = False
 
     def _check_overlaps(self) -> None:
         # Two windows of the same kind on the same path must not
@@ -133,13 +212,23 @@ class FaultPlan:
     def for_path(self, path_id: int) -> List[FaultEvent]:
         return [e for e in self.events if e.path_id == path_id]
 
+    @property
+    def max_churn_time(self) -> float:
+        return max((e.time for e in self.churn), default=0.0)
+
     def to_dict(self) -> Dict[str, Any]:
-        return {"events": [e.to_dict() for e in self.events]}
+        data: Dict[str, Any] = {"events": [e.to_dict() for e in self.events]}
+        if self.churn:
+            data["churn"] = [e.to_dict() for e in self.churn]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
         return cls(
-            events=[FaultEvent.from_dict(e) for e in data.get("events", [])]
+            events=[FaultEvent.from_dict(e) for e in data.get("events", [])],
+            churn=[
+                PathChurnEvent.from_dict(e) for e in data.get("churn", [])
+            ],
         )
 
     @classmethod

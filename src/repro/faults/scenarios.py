@@ -11,9 +11,15 @@ number of paths in the call.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.plan import (
+    ChurnAction,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    PathChurnEvent,
+)
 from repro.simulation.random import RandomStreams
 
 ChaosBuilder = Callable[[float, int, int], FaultPlan]
@@ -157,20 +163,36 @@ def queue_flap(duration: float, seed: int, num_paths: int) -> FaultPlan:
 
 
 @register("handover")
-def handover(duration: float, seed: int, num_paths: int) -> FaultPlan:
-    """A cellular handover on path 0: blackout, then a delay spike."""
+def handover(
+    duration: float,
+    seed: int,
+    num_paths: int,
+    target_path: Optional[int] = None,
+) -> FaultPlan:
+    """A cellular handover: blackout, then a delay spike.
+
+    The affected path is parameterized: pass ``target_path``
+    explicitly, or let the seed pick one — real handovers do not
+    conveniently always hit the first interface.
+    """
+    if target_path is None:
+        target_path = seed % num_paths
+    if not 0 <= target_path < num_paths:
+        raise ValueError(
+            f"target_path {target_path} out of range for {num_paths} paths"
+        )
     start = duration * 0.35
     return FaultPlan.of(
         [
             FaultEvent(
                 kind=FaultKind.BLACKOUT,
-                path_id=0,
+                path_id=target_path,
                 start=start,
                 duration=1.5,
             ),
             FaultEvent(
                 kind=FaultKind.DELAY_SPIKE,
-                path_id=0,
+                path_id=target_path,
                 start=start + 1.5,
                 duration=3.0,
                 magnitude=0.08,
@@ -202,6 +224,80 @@ def uplink_death(duration: float, seed: int, num_paths: int) -> FaultPlan:
                 path_id=0,
                 start=start,
                 duration=window,
+            ),
+        ]
+    )
+
+
+@register("path-churn")
+def path_churn(duration: float, seed: int, num_paths: int) -> FaultPlan:
+    """Sustained membership churn: drains, abrupt deaths, and births.
+
+    The schedule walks the call through every lifecycle transition:
+    a graceful drain of the second path, an abrupt death of the
+    first, and two mid-call births that must bootstrap from nothing.
+    Birth networks name the ``migration`` trace scenario's WiFi / LTE
+    profiles; under any other scenario the call substitutes a profile
+    the scenario actually has, so churn composes with every trace.
+    """
+    churn: List[PathChurnEvent] = []
+    if num_paths > 1:
+        churn.append(
+            PathChurnEvent(
+                action=ChurnAction.DRAIN,
+                path_id=_second_path(num_paths),
+                time=duration * 0.2,
+            )
+        )
+    churn.extend(
+        [
+            PathChurnEvent(
+                action=ChurnAction.BIRTH,
+                path_id=num_paths,
+                time=duration * 0.35,
+                network="lte",
+            ),
+            PathChurnEvent(
+                action=ChurnAction.DEATH, path_id=0, time=duration * 0.5
+            ),
+            PathChurnEvent(
+                action=ChurnAction.BIRTH,
+                path_id=num_paths + 1,
+                time=duration * 0.65,
+                network="wifi",
+            ),
+            PathChurnEvent(
+                action=ChurnAction.DEATH,
+                path_id=num_paths,
+                time=duration * 0.8,
+            ),
+        ]
+    )
+    return FaultPlan(churn=churn)
+
+
+@register("wifi-lte-migration")
+def wifi_lte_migration(
+    duration: float, seed: int, num_paths: int
+) -> FaultPlan:
+    """WiFi -> LTE migration: the LTE path attaches, then WiFi dies.
+
+    Models walking out of WiFi coverage with make-before-break: the
+    cellular interface comes up first (BIRTH), the WiFi path vanishes
+    abruptly a beat later (DEATH — no time for a graceful drain, the
+    radio is simply gone).  The call must carry every in-flight packet
+    of the dead path over to the newborn survivor.
+    """
+    return FaultPlan(
+        churn=[
+            PathChurnEvent(
+                action=ChurnAction.BIRTH,
+                path_id=num_paths,
+                time=duration * 0.35,
+                network="lte",
+            ),
+            PathChurnEvent(
+                action=ChurnAction.DEATH, path_id=0, time=duration * 0.55
             ),
         ]
     )

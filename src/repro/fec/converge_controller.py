@@ -101,6 +101,14 @@ class ConvergeFecController:
     def beta(self, path_id: int) -> float:
         return self._state(path_id).beta
 
+    def forget_path(self, path_id: int) -> None:
+        """Drop FEC state for a removed path.
+
+        A later path reusing the id must start at beta = 1 instead of
+        inheriting the dead path's NACK history and carry.
+        """
+        self._paths.pop(path_id, None)
+
     def _decay_beta(self, state: _PathFecState, now: float) -> None:
         elapsed = max(now - state.last_update, 0.0)
         state.last_update = now

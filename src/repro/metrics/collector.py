@@ -111,6 +111,10 @@ class MetricsCollector:
         # the raw material for recovery-time accounting.
         self.fault_events: List[FaultRecord] = []
         self.path_events: List[Tuple[float, int, str]] = []
+        # Path membership changes applied by the churn driver: birth,
+        # drain (graceful teardown started), death (abrupt teardown),
+        # removed (state fully torn down).
+        self.churn_events: List[Tuple[float, int, str]] = []
 
     # -- sender events -----------------------------------------------------
 
@@ -215,6 +219,12 @@ class MetricsCollector:
         single-path operation).
         """
         self.path_events.append((time, path_id, event))
+
+    def record_churn_event(
+        self, time: float, path_id: int, event: str
+    ) -> None:
+        """Log a path membership change (birth/drain/death/removed)."""
+        self.churn_events.append((time, path_id, event))
 
     def record_fec_stats(self, fec_received: int, recoveries: int) -> None:
         self.fec_received = fec_received

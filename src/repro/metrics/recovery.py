@@ -141,6 +141,112 @@ def _rate_recovery_time(
     return None
 
 
+# ---------------------------------------------------------------------------
+# Path churn accounting
+
+
+@dataclass
+class ChurnRecovery:
+    """Render-continuity accounting for one path membership change.
+
+    ``render_gap`` is the longest interval without a rendered frame in
+    the window starting at the event (bounded by ``window``); for a
+    BIRTH it measures disruption from re-normalizing the split, for a
+    DEATH it is the migration latency — how long media stalled while
+    the call re-routed onto the survivors.  ``time_to_next_render``
+    is event -> first frame rendered afterwards (``None`` if the call
+    never rendered again: the session did not survive this event).
+    """
+
+    time: float
+    path_id: int
+    action: str
+    time_to_next_render: Optional[float]
+    render_gap: float
+
+    @property
+    def survived(self) -> bool:
+        return self.time_to_next_render is not None
+
+
+@dataclass
+class ChurnReport:
+    """Aggregate churn survival for one call."""
+
+    events: List[ChurnRecovery]
+
+    @property
+    def session_survived(self) -> bool:
+        """Frames kept rendering after every membership change."""
+        return all(e.survived for e in self.events)
+
+    @property
+    def max_render_gap(self) -> float:
+        return max((e.render_gap for e in self.events), default=0.0)
+
+    @property
+    def worst_migration_latency(self) -> Optional[float]:
+        """Slowest event -> next-render latency, None if any wedged."""
+        latencies = [e.time_to_next_render for e in self.events]
+        if any(value is None for value in latencies):
+            return None
+        return max((v for v in latencies if v is not None), default=0.0)
+
+
+def compute_churn_recovery(
+    metrics: MetricsCollector,
+    duration: float,
+    window: float = 5.0,
+) -> ChurnReport:
+    """Per-churn-event render continuity for one finished call.
+
+    Only the driver-level transitions (``birth``, ``death``, ``drain``)
+    are scored; the bookkeeping ``removed`` instant that follows every
+    teardown is skipped so a graceful drain is not double-counted.
+    """
+    render_times = sorted(f.render_time for f in metrics.rendered)
+    events: List[ChurnRecovery] = []
+    for time, path_id, action in metrics.churn_events:
+        if action == "removed":
+            continue
+        horizon = min(time + window, duration)
+        events.append(
+            ChurnRecovery(
+                time=time,
+                path_id=path_id,
+                action=action,
+                time_to_next_render=_next_render_after(render_times, time),
+                render_gap=_longest_render_gap(render_times, time, horizon),
+            )
+        )
+    return ChurnReport(events=events)
+
+
+def _next_render_after(
+    render_times: List[float], time: float
+) -> Optional[float]:
+    index = bisect_left(render_times, time)
+    if index >= len(render_times):
+        return None
+    return render_times[index] - time
+
+
+def _longest_render_gap(
+    render_times: List[float], start: float, end: float
+) -> float:
+    """Longest frame-less interval inside [start, end]."""
+    if end <= start:
+        return 0.0
+    lo = bisect_left(render_times, start)
+    hi = bisect_left(render_times, end)
+    previous = start
+    longest = 0.0
+    for time in render_times[lo:hi]:
+        longest = max(longest, time - previous)
+        previous = time
+    return max(longest, end - previous)
+
+
 def _qoe_recovery_time(
     render_times: List[float],
     fault: FaultRecord,

@@ -26,6 +26,31 @@ class PathSet:
         if not self._paths:
             raise ValueError("a path set needs at least one path")
 
+    def add_path(self, config: PathConfig) -> Path:
+        """Bring a new path up mid-call (WiFi join, LTE attach).
+
+        The caller wires delivery callbacks and registers the path with
+        the sender-side state; the set only guards id uniqueness.
+        """
+        if config.path_id in self._paths:
+            raise ValueError(f"duplicate path id {config.path_id}")
+        path = Path(self.sim, config)
+        self._paths[config.path_id] = path
+        return path
+
+    def remove_path(self, path_id: int) -> Path:
+        """Tear a path down mid-call and return the detached object.
+
+        The last path cannot be removed: a call with zero paths is a
+        dead call, and every consumer (RTCP routing, rate aggregation)
+        assumes at least one path exists.
+        """
+        if path_id not in self._paths:
+            raise KeyError(f"unknown path id {path_id}")
+        if len(self._paths) == 1:
+            raise ValueError("cannot remove the last path of a call")
+        return self._paths.pop(path_id)
+
     def __iter__(self) -> Iterator[Path]:
         return iter(self._paths.values())
 

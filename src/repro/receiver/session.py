@@ -189,6 +189,12 @@ class ReceiverSession:
         """Entry point for every packet delivered by any path."""
         now = self.sim.now
         path_state = self._path_states.get(packet.path_id)
+        if path_state is None and packet.path_id in self.paths:
+            # First packet from a path born mid-call: receive state is
+            # created lazily.  The membership check keeps late stragglers
+            # from an already-removed path from resurrecting its state.
+            path_state = _PathReceiveState()
+            self._path_states[packet.path_id] = path_state
         if path_state is not None:
             path_state.transport_entries.append((packet.mp_transport_seq, now))
             path_state.last_activity = now
@@ -335,6 +341,7 @@ class ReceiverSession:
             self.config.rtcp_per_path
             and message.path_id >= 0
             and message.path_id in self._path_states
+            and message.path_id in self.paths
         ):
             # Per-path reports ride their own path's reverse channel
             # (a per-interface RTCP socket): an outage there silences
@@ -344,8 +351,13 @@ class ReceiverSession:
             return
         # Call-level RTCP rides the most recently active path: reports
         # about a failing path must not depend on it delivering them.
+        # Only paths still in the call qualify — a removed path may
+        # retain receive state only long enough for its final report.
+        candidates = [pid for pid in self._path_states if pid in self.paths]
+        if not candidates:
+            return
         best = max(
-            self._path_states,
+            candidates,
             key=lambda pid: self._path_states[pid].last_activity,
         )
         self.paths.get(best).send_feedback(message)
@@ -437,6 +449,29 @@ class ReceiverSession:
                 stream.feedback.set_expected_frame_rate(message.frame_rate)
 
     # -- lifecycle -----------------------------------------------------------------
+
+    def on_path_added(self, path_id: int) -> None:
+        """Wire ingress for a path born mid-call."""
+        self.paths.get(path_id).on_deliver = self.on_packet
+        self._path_states.setdefault(path_id, _PathReceiveState())
+
+    def on_path_removed(self, path_id: int) -> None:
+        """Drop receive state for a dead path, flushing its last report.
+
+        Call this *after* the path leaves the :class:`PathSet`: the
+        final transport feedback (acks for packets that landed just
+        before the teardown) then rides a surviving path, exactly like
+        call-level RTCP.
+        """
+        state = self._path_states.pop(path_id, None)
+        if state is None:
+            return
+        if state.transport_entries:
+            self._send_rtcp(
+                TransportFeedback(
+                    ssrc=0, path_id=path_id, packets=state.transport_entries
+                )
+            )
 
     def finalize(self) -> None:
         """Flush buffer-level statistics into the metrics collector."""

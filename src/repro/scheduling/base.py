@@ -63,6 +63,18 @@ class Scheduler(ABC):
         """Whether Eq. 2 budgets should be honoured for this scheduler."""
         return False
 
+    # -- path lifecycle hooks ---------------------------------------------
+    # Stateless schedulers react to membership changes implicitly (they
+    # only ever look at the snapshots handed to them each round), so the
+    # default hooks are no-ops.  Stateful schedulers (splitter carry,
+    # active-path choice) override to drop or re-seat their state.
+
+    def on_path_added(self, path_id: int) -> None:
+        """A path was born mid-call; it appears in future snapshots."""
+
+    def on_path_removed(self, path_id: int) -> None:
+        """A path died mid-call; it will never appear in snapshots again."""
+
 
 class ProportionalSplitter:
     """Stateful proportional splitter with fractional carry.
@@ -115,6 +127,14 @@ class ProportionalSplitter:
         for key, w, a in zip(keys, want, alloc):
             self._carry[key] = min(max(w - a, 0.0), 0.999)
         return alloc
+
+    def forget(self, key: object) -> None:
+        """Drop the carry for a key whose path left the call.
+
+        Without this a dead path's fractional carry would re-apply if
+        a later path reuses the id, skewing its first rounds.
+        """
+        self._carry.pop(key, None)
 
 
 def split_exact(total: int, weights: Sequence[float]) -> List[float]:

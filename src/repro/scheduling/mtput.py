@@ -25,6 +25,9 @@ class ThroughputScheduler(Scheduler):
     def __init__(self) -> None:
         self._splitter = ProportionalSplitter()
 
+    def on_path_removed(self, path_id: int) -> None:
+        self._splitter.forget(path_id)
+
     def assign(
         self,
         packets: Sequence[RtpPacket],

@@ -20,6 +20,11 @@ class SinglePathScheduler(Scheduler):
         paths: Sequence[PathSnapshot],
         now: float,
     ) -> Assignment:
+        if paths and all(p.path_id != self.path_id for p in paths):
+            # The fixed path left the call mid-session; legacy WebRTC
+            # would renegotiate here, which we model as re-seating on
+            # the lowest surviving path id.
+            self.path_id = min(p.path_id for p in paths)
         return [(packet, self.path_id) for packet in packets]
 
 
@@ -59,6 +64,14 @@ class ConnectionMigrationScheduler(Scheduler):
         active = next(
             (p for p in paths if p.path_id == self.active_path_id), None
         )
+        if active is None:
+            # The active path vanished from the snapshot set entirely
+            # (death or teardown): reconnect on whatever is left — no
+            # point waiting out the failure timeout for a path that no
+            # longer exists.
+            if paths:
+                self._migrate(paths, now)
+            return []
         # Grace period after a migration: the new connection needs a
         # reconnect plus one failure window to produce feedback before
         # it can be judged, or the scheduler ping-pongs between paths.

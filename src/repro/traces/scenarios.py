@@ -125,7 +125,38 @@ DRIVING = Scenario(
     },
 )
 
-_SCENARIOS = {s.name: s for s in (STATIONARY, WALKING, DRIVING)}
+MIGRATION = Scenario(
+    name="migration",
+    networks={
+        # WiFi↔LTE migration envelope (LoLa-style dual-carrier walk):
+        # WiFi is strong but degrades toward the coverage edge; LTE is
+        # the slower, burstier carrier the call migrates onto.  Used by
+        # the path-churn / wifi-lte-migration chaos scenarios, whose
+        # BIRTH events reference these profiles by name.
+        "wifi": NetworkProfile(
+            mean_bps=_mbps(22),
+            std_bps=_mbps(4),
+            p_enter_fade=0.008,
+            fade_duration=(2.0, 6.0),
+            fade_depth=(0.1, 0.4),
+            base_loss=0.004,
+            bursty_loss=False,
+            propagation_delay=0.012,
+        ),
+        "lte": NetworkProfile(
+            mean_bps=_mbps(11),
+            std_bps=_mbps(3),
+            p_enter_fade=0.010,
+            fade_duration=(2.0, 6.0),
+            fade_depth=(0.1, 0.4),
+            base_loss=0.006,
+            bursty_loss=True,
+            propagation_delay=0.035,
+        ),
+    },
+)
+
+_SCENARIOS = {s.name: s for s in (STATIONARY, WALKING, DRIVING, MIGRATION)}
 
 
 def get_scenario(name: str) -> Scenario:

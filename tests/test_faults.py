@@ -223,8 +223,10 @@ class TestChaosScenarios:
     def test_all_builders_produce_valid_plans(self):
         for name in CHAOS_SCENARIOS:
             plan = build_chaos_plan(name, duration=60.0, seed=3, num_paths=2)
-            assert len(plan) >= 1, name
+            # A plan must do *something*: fault windows, churn, or both.
+            assert len(plan) >= 1 or plan.churn, name
             assert plan.max_end <= 60.0, name
+            assert plan.max_churn_time <= 60.0, name
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError, match="unknown chaos scenario"):

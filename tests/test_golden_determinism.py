@@ -52,6 +52,19 @@ def golden_cell(system: SystemKind):
     )
 
 
+def churn_cell():
+    """The migration scenario under path churn: pins the whole
+    lifecycle machinery (drain, abrupt death, mid-call births, the
+    in-flight reroute) to a byte-exact fixture."""
+    return make_cell(
+        ScenarioPaths("migration"),
+        SystemKind.CONVERGE,
+        seed=SEED,
+        duration=DURATION,
+        chaos="path-churn",
+    )
+
+
 def golden_path(system: SystemKind) -> Path:
     return GOLDEN_DIR / f"{system.value.replace('/', '_')}.json"
 
@@ -109,30 +122,72 @@ class TestGoldenDeterminism:
 
     def test_matches_golden(self, payloads, index, system):
         record = golden_record(payloads["serial"][index])
-        path = golden_path(system)
-        if UPDATE:
-            GOLDEN_DIR.mkdir(exist_ok=True)
-            path.write_text(json.dumps(record, indent=2, sort_keys=True))
-            pytest.skip(f"regenerated {path.name}")
-        if not path.exists():
-            pytest.fail(
-                f"missing golden fixture {path}; generate with "
-                "REPRO_UPDATE_GOLDENS=1"
-            )
-        golden = json.loads(path.read_text())
-        # Field-by-field on the summary: the assertion message names
-        # exactly which QoE metric moved and by how much.
-        for field_name, expected in golden["summary"].items():
-            actual = record["summary"].get(field_name)
-            assert actual == expected, (
-                f"{system.value}: summary field {field_name!r} drifted: "
-                f"golden={expected!r} actual={actual!r} — if intended, "
-                "regenerate with REPRO_UPDATE_GOLDENS=1 and bump "
-                "CODE_VERSION"
-            )
-        assert record["series_lengths"] == golden["series_lengths"]
-        assert record["payload_sha256"] == golden["payload_sha256"], (
-            f"{system.value}: summary matches but the full payload hash "
-            "drifted (series or path accounting changed) — if intended, "
-            "regenerate with REPRO_UPDATE_GOLDENS=1 and bump CODE_VERSION"
+        _assert_matches_golden(record, golden_path(system), system.value)
+
+
+def _assert_matches_golden(record: dict, path: Path, name: str) -> None:
+    if UPDATE:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(record, indent=2, sort_keys=True))
+        pytest.skip(f"regenerated {path.name}")
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; generate with "
+            "REPRO_UPDATE_GOLDENS=1"
+        )
+    golden = json.loads(path.read_text())
+    # Field-by-field on the summary: the assertion message names
+    # exactly which QoE metric moved and by how much.
+    for field_name, expected in golden["summary"].items():
+        actual = record["summary"].get(field_name)
+        assert actual == expected, (
+            f"{name}: summary field {field_name!r} drifted: "
+            f"golden={expected!r} actual={actual!r} — if intended, "
+            "regenerate with REPRO_UPDATE_GOLDENS=1 and bump "
+            "CODE_VERSION"
+        )
+    assert record["series_lengths"] == golden["series_lengths"]
+    assert record["payload_sha256"] == golden["payload_sha256"], (
+        f"{name}: summary matches but the full payload hash "
+        "drifted (series or path accounting changed) — if intended, "
+        "regenerate with REPRO_UPDATE_GOLDENS=1 and bump CODE_VERSION"
+    )
+
+
+class TestChurnGolden:
+    """Byte-exact determinism of a call under path membership churn."""
+
+    @pytest.fixture(scope="class")
+    def churn_payloads(self, tmp_path_factory):
+        cell = churn_cell()
+        cache_dir = tmp_path_factory.mktemp("churn-golden-cache")
+        serial = results_of(run_cells([cell], jobs=1))[0].data
+        cached_first = results_of(
+            run_cells([cell], jobs=1, cache=cache_dir)
+        )[0].data
+        cached = results_of(
+            run_cells([cell], jobs=1, cache=cache_dir)
+        )[0].data
+        return {"serial": serial, "fresh": cached_first, "cached": cached}
+
+    def test_serial_and_cached_identical(self, churn_payloads):
+        serial = churn_payloads["serial"]
+        assert canonical_json(serial) == canonical_json(
+            churn_payloads["fresh"]
+        )
+        assert canonical_json(serial) == canonical_json(
+            churn_payloads["cached"]
+        )
+
+    def test_session_survives_churn(self, churn_payloads):
+        churn = churn_payloads["serial"]["churn"]
+        assert churn["session_survived"] is True
+        assert len(churn["events"]) >= 5  # drain+births+deaths+removals
+
+    def test_matches_golden(self, churn_payloads):
+        record = golden_record(churn_payloads["serial"])
+        _assert_matches_golden(
+            record,
+            GOLDEN_DIR / "converge_path-churn.json",
+            "converge+path-churn",
         )

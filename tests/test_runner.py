@@ -183,6 +183,49 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "alt"))
         assert default_cache_dir() == tmp_path / "alt"
 
+    def test_tampered_summary_is_deleted_and_misses(self, tmp_path):
+        # The checksum covers the canonical summary bytes: silent
+        # corruption (disk fault, hand edit) must never be served.
+        store = ResultCache(tmp_path)
+        key = "ab" + "1" * 62
+        store.put(key, {"system": "converge"}, {"x": 1.5}, 0.25)
+        target = store.path_for(key)
+        data = json.loads(target.read_text())
+        data["summary"]["x"] = 99.0  # tamper without updating checksum
+        target.write_text(json.dumps(data))
+        assert store.get(key) is None
+        assert not target.exists(), "corrupt entry must be deleted"
+
+    def test_truncated_entry_is_deleted_and_misses(self, tmp_path):
+        store = ResultCache(tmp_path)
+        key = "ab" + "2" * 62
+        store.put(key, {"system": "converge"}, {"x": 1.5}, 0.25)
+        target = store.path_for(key)
+        target.write_text(target.read_text()[:40])
+        assert store.get(key) is None
+        assert not target.exists()
+
+    def test_missing_checksum_is_a_miss(self, tmp_path):
+        # Entries from before the integrity field existed are treated
+        # as corrupt: one re-simulation, not a crash or stale data.
+        store = ResultCache(tmp_path)
+        key = "ab" + "3" * 62
+        target = store.path_for(key)
+        target.parent.mkdir(parents=True)
+        target.write_text(json.dumps({"key": key, "summary": {"x": 1}}))
+        assert store.get(key) is None
+        assert not target.exists()
+
+    def test_corrupt_entry_recovers_via_rerun(self, tmp_path):
+        store = ResultCache(tmp_path)
+        first = run_cells([_cell()], jobs=1, cache=store)
+        key = first.outcomes[0].key
+        store.path_for(key).write_text("not json at all")
+        again = run_cells([_cell()], jobs=1, cache=store)
+        assert again.stats.cache_hits == 0
+        assert again.stats.executed == 1
+        assert results_of(again)[0].data == results_of(first)[0].data
+
 
 class TestRunCells:
     def test_serial_parallel_and_cached_are_identical(self, tmp_path):
@@ -310,3 +353,82 @@ class TestRunCells:
         direct = json.loads(canonical_json(execute_cell(cell)))
         via_runner = results_of(run_cells([cell], jobs=1))[0].data
         assert direct == via_runner
+
+
+def _slow_cell(seed=1):
+    # 120 simulated seconds: reliably slower than a 50 ms wall budget.
+    return make_cell(
+        ConstantPaths((8e6, 8e6), (0.02, 0.03), (0.01, 0.0)),
+        SystemKind.CONVERGE,
+        seed=seed,
+        duration=120.0,
+    )
+
+
+class TestTimeoutAndQuarantine:
+    def test_timeout_yields_structured_error(self):
+        from repro.experiments.runner import _execute_isolated
+
+        verdict = _execute_isolated(_slow_cell(), timeout=0.05)
+        assert verdict["ok"] is False
+        assert verdict["timed_out"] is True
+        assert verdict["error"]["type"] == "CellTimeout"
+
+    def test_generous_timeout_leaves_result_intact(self):
+        from repro.experiments.runner import _execute_isolated
+
+        cell = _cell()
+        unguarded = _execute_isolated(cell)
+        guarded = _execute_isolated(cell, timeout=600.0)
+        assert guarded["ok"] is True
+        assert guarded["summary"] == unguarded["summary"]
+
+    def test_serial_retry_then_quarantine(self):
+        report = run_cells([_slow_cell()], jobs=1, cell_timeout=0.05)
+        outcome = report.outcomes[0]
+        assert not outcome.ok
+        assert outcome.error["type"] == "CellTimeout"
+        assert report.stats.retried == 1  # one retry before quarantine
+        assert report.stats.timeouts == 2  # both attempts timed out
+        assert report.stats.errors == 1
+        assert len(report.stats.quarantined) == 1
+        assert "converge" in report.stats.quarantined[0]
+
+    def test_pool_retry_then_quarantine(self):
+        cells = [_slow_cell(seed=s) for s in (1, 2)]
+        report = run_cells(cells, jobs=2, cell_timeout=0.1)
+        assert all(not o.ok for o in report.outcomes)
+        assert report.stats.retried == 2
+        assert report.stats.timeouts == 4
+        assert sorted(report.stats.quarantined) == [
+            "converge seed=1", "converge seed=2",
+        ]
+
+    def test_quarantine_reported_not_raised(self, capsys):
+        # The sweep itself must complete; only results_of raises.
+        report = run_cells(
+            [_slow_cell(), _cell()], jobs=1, cell_timeout=0.05,
+            progress=True,
+        )
+        assert report.outcomes[1].ok  # the healthy cell still ran
+        err = capsys.readouterr().err
+        assert "quarantined 1 poison cell(s)" in err
+        with pytest.raises(CellFailure):
+            results_of(report)
+
+    def test_deterministic_failure_retries_once_then_errors(self):
+        bad = make_cell(
+            BuilderPaths("tests.test_runner:broken_paths"),
+            SystemKind.CONVERGE,
+            seed=1,
+            duration=DURATION,
+        )
+        report = run_cells([bad], jobs=1)
+        assert report.stats.retried == 1
+        assert report.stats.timeouts == 0
+        assert report.outcomes[0].error["type"] == "RuntimeError"
+
+    def test_timed_out_cells_are_not_cached(self, tmp_path):
+        run_cells([_slow_cell()], jobs=1, cache=tmp_path,
+                  cell_timeout=0.05)
+        assert len(ResultCache(tmp_path)) == 0

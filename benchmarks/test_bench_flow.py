@@ -1,0 +1,173 @@
+"""Benchmark: flow-fidelity fast path vs the packet-level core.
+
+Runs the Fig. 14/15 comparison grid (all seven systems, driving) at
+both fidelities through :func:`repro.experiments.runner.execute_cell`
+— the exact worker entry point — and emits ``BENCH_flow.json`` with
+cells/sec per fidelity, the wall-clock speedup, and the
+cross-validation max-error (the largest band-normalized divergence of
+the flow backend from the packet goldens, where 1.0 would be exactly
+at a tolerance bound of ``tests/test_flow_validation.py``).
+
+Methodology: cells are expanded outside the timed region; one untimed
+flow-cell warm-up absorbs import costs; the packet grid is timed once
+(it dominates the budget) and the flow grid reports the best of
+``REPRO_FLOW_ROUNDS`` runs.  The speedup floor asserted here is the
+repo's acceptance bar for keeping the two-fidelity split honest.
+
+Knobs (environment): ``REPRO_FLOW_BENCH_DURATION`` (simulated seconds
+per cell, default 60 — the fig14/15 call length the acceptance bar is
+quoted at), ``REPRO_FLOW_ROUNDS`` (default 3),
+``REPRO_FLOW_MIN_SPEEDUP`` (default 100), ``REPRO_BENCH_SEED``,
+``REPRO_BENCH_OUT`` (output directory).
+"""
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.core.config import SystemKind
+from repro.experiments.cells import ScenarioPaths, make_cell
+from repro.experiments.fig14_15_comparison import cells as fig14_cells
+from repro.experiments.runner import execute_cell
+from repro.metrics.report import format_table
+
+_GOLDEN_DIR = Path(__file__).parent.parent / "tests" / "goldens"
+_GOLDEN_DURATION = 4.0
+
+# Mirror of the tolerance bands in tests/test_flow_validation.py: the
+# reported max-error is `error / bound`, so 1.0 means "exactly at the
+# validation limit" whatever the metric's own unit is.
+_BANDS = {
+    "throughput_bps": ("rel", 0.50),
+    "stall_ratio": ("abs", 0.25),
+    "average_fps": ("abs", 8.0),
+    "e2e_p95": ("abs", 0.25),
+    "frame_drops": ("abs", 30.0),
+}
+
+
+def _golden_flow_cell(name: str):
+    if name == "converge_path-churn":
+        return make_cell(
+            ScenarioPaths("migration"),
+            SystemKind.CONVERGE,
+            seed=1,
+            duration=_GOLDEN_DURATION,
+            chaos="path-churn",
+            fidelity="flow",
+        )
+    return make_cell(
+        ScenarioPaths("driving"),
+        SystemKind(name),
+        seed=1,
+        duration=_GOLDEN_DURATION,
+        fidelity="flow",
+    )
+
+
+def _metric(summary, key):
+    if key == "stall_ratio":
+        return float(summary["freeze_total"]) / _GOLDEN_DURATION
+    return float(summary[key])
+
+
+def _validation_max_error():
+    """Largest band-normalized flow-vs-golden error over all fixtures."""
+    worst = 0.0
+    worst_at = None
+    for path in sorted(_GOLDEN_DIR.glob("*.json")):
+        golden = json.loads(path.read_text())["summary"]
+        flow = execute_cell(_golden_flow_cell(path.stem))["summary"]
+        for key, (unit, bound) in _BANDS.items():
+            flow_v = _metric(flow, key)
+            gold_v = _metric(golden, key)
+            error = abs(flow_v - gold_v)
+            if unit == "rel":
+                error /= abs(gold_v) if gold_v else 1.0
+            normalized = error / bound
+            if normalized > worst:
+                worst = normalized
+                worst_at = f"{path.stem}:{key}"
+    return worst, worst_at
+
+
+def _time_grid(cells):
+    start = perf_counter()
+    for cell in cells:
+        execute_cell(cell)
+    return perf_counter() - start
+
+
+def test_bench_flow(bench_seed):
+    duration = float(os.environ.get("REPRO_FLOW_BENCH_DURATION", 60.0))
+    rounds = int(os.environ.get("REPRO_FLOW_ROUNDS", 3))
+    min_speedup = float(os.environ.get("REPRO_FLOW_MIN_SPEEDUP", 100.0))
+
+    packet_cells = fig14_cells(duration, bench_seed, fidelity="packet")
+    flow_cells = fig14_cells(duration, bench_seed, fidelity="flow")
+
+    _time_grid(flow_cells)  # warm-up, untimed
+
+    flow_wall = min(_time_grid(flow_cells) for _ in range(max(rounds, 1)))
+    packet_wall = _time_grid(packet_cells)
+    speedup = packet_wall / flow_wall
+
+    max_error, max_error_at = _validation_max_error()
+
+    n = len(packet_cells)
+    rows = [
+        ["packet", n, f"{packet_wall:.2f}", f"{n / packet_wall:.1f}", "1x"],
+        [
+            "flow",
+            n,
+            f"{flow_wall:.4f}",
+            f"{n / flow_wall:.1f}",
+            f"{speedup:.0f}x",
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["fidelity", "cells", "wall s", "cells/s", "speedup"], rows
+        )
+    )
+    print(
+        f"validation max-error {max_error:.2f} of tolerance "
+        f"({max_error_at})"
+    )
+
+    out_dir = Path(
+        os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent.parent)
+    )
+    payload = {
+        "benchmark": "flow",
+        "grid": "fig14_15",
+        "duration": duration,
+        "seed": bench_seed,
+        "rounds": rounds,
+        "cells": n,
+        "packet": {
+            "wall_seconds": packet_wall,
+            "cells_per_second": n / packet_wall,
+        },
+        "flow": {
+            "wall_seconds": flow_wall,
+            "cells_per_second": n / flow_wall,
+        },
+        "speedup": speedup,
+        "validation_max_error": max_error,
+        "validation_max_error_at": max_error_at,
+    }
+    target = out_dir / "BENCH_flow.json"
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {target}")
+
+    assert speedup >= min_speedup, (
+        f"flow fast path is only {speedup:.0f}x faster than packet on the "
+        f"fig14/15 grid (floor: {min_speedup:.0f}x)"
+    )
+    assert max_error <= 1.0, (
+        f"flow backend drifted outside its validation bands: "
+        f"{max_error:.2f} at {max_error_at}"
+    )

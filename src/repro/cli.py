@@ -42,7 +42,13 @@ from repro.experiments import (
     traces_appendix,
 )
 from repro.experiments.cache import ResultCache, default_cache_dir
-from repro.experiments.cells import Cell, ScenarioPaths, expand_grid, make_cell
+from repro.experiments.cells import (
+    Cell,
+    Fidelity,
+    ScenarioPaths,
+    expand_grid,
+    make_cell,
+)
 from repro.experiments.runner import CellSummary, results_of, run_cells
 from repro.faults.scenarios import chaos_scenario_names
 from repro.metrics.report import format_table
@@ -61,6 +67,16 @@ EXPERIMENTS = {
 }
 
 SCENARIOS = ("stationary", "walking", "driving", "migration")
+
+
+def _add_fidelity_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fidelity",
+        choices=[f.value for f in Fidelity],
+        default=Fidelity.PACKET.value,
+        help="simulation backend: the packet-level core (exact) or the "
+        "flow-level fast path (cross-validated approximation)",
+    )
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -119,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--plot", action="store_true", help="render terminal charts"
     )
+    _add_fidelity_arg(run_parser)
     _add_runner_args(run_parser)
 
     compare_parser = sub.add_parser(
@@ -130,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--duration", type=float, default=30.0)
     compare_parser.add_argument("--streams", type=int, default=1)
     compare_parser.add_argument("--seed", type=int, default=1)
+    _add_fidelity_arg(compare_parser)
     _add_runner_args(compare_parser)
 
     sweep_parser = sub.add_parser(
@@ -154,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="write the full run report (stats + every cell) as JSON",
     )
+    _add_fidelity_arg(sweep_parser)
     _add_runner_args(sweep_parser)
 
     chaos_parser = sub.add_parser(
@@ -183,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "--plot", action="store_true", help="render terminal charts"
     )
+    _add_fidelity_arg(chaos_parser)
     _add_runner_args(chaos_parser)
 
     experiment_parser = sub.add_parser(
@@ -191,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment_parser.add_argument("--duration", type=float, default=60.0)
     experiment_parser.add_argument("--seed", type=int, default=1)
+    _add_fidelity_arg(experiment_parser)
     _add_runner_args(experiment_parser)
 
     profile_parser = sub.add_parser(
@@ -292,6 +313,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         duration=args.duration,
         num_streams=args.streams,
+        fidelity=args.fidelity,
         **overrides,
     )
     summary = _run_single_cell(cell, args)
@@ -331,6 +353,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         duration=args.duration,
         num_streams=args.streams,
         chaos=args.chaos,
+        fidelity=args.fidelity,
     )
     summary = _run_single_cell(cell, args)
     faults = summary.faults
@@ -416,6 +439,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
             duration=args.duration,
             num_streams=args.streams,
+            fidelity=args.fidelity,
         )
         for system in SystemKind
     ]
@@ -458,6 +482,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds,
         duration=args.duration,
         num_streams=args.streams,
+        fidelity=args.fidelity,
     )
     report = run_cells(
         job_list,
@@ -596,13 +621,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
     module = EXPERIMENTS[args.name]
+    kwargs = {}
+    if args.fidelity != Fidelity.PACKET.value:
+        if "fidelity" not in inspect.signature(module.main).parameters:
+            print(
+                f"experiment {args.name!r} only supports packet fidelity",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["fidelity"] = args.fidelity
     module.main(
         duration=args.duration,
         seed=args.seed,
         jobs=args.jobs,
         cache=args.cache,
         progress=args.progress,
+        **kwargs,
     )
     return 0
 

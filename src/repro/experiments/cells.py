@@ -38,7 +38,21 @@ from repro.net.path import PathConfig
 # previously cached summaries.  Combined with the optional
 # ``REPRO_CACHE_SALT`` environment override (useful for forcing a cold
 # cache without deleting anything).
-CODE_VERSION = "2026.08-1"
+CODE_VERSION = "2026.08-2"
+
+
+class Fidelity(enum.Enum):
+    """Which simulation backend executes a cell.
+
+    ``PACKET`` is the discrete-event core (exact, ~40 sim-s/wall-s);
+    ``FLOW`` is the frame-interval abstraction in :mod:`repro.flow`
+    (cross-validated against the packet goldens, orders of magnitude
+    faster).  The fidelity is part of the cell's identity and its
+    cache key, so cached summaries never mix backends.
+    """
+
+    PACKET = "packet"
+    FLOW = "flow"
 
 
 # ---------------------------------------------------------------------------
@@ -130,6 +144,8 @@ class Cell:
     label: Optional[str] = None
     # Name of a canned chaos plan (repro.faults.scenarios), or None.
     chaos: Optional[str] = None
+    # Which simulation backend runs this cell (salted into the key).
+    fidelity: Fidelity = Fidelity.PACKET
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -137,6 +153,8 @@ class Cell:
             raise ValueError("cell duration must be positive")
         if self.num_streams < 1:
             raise ValueError("cell needs at least one stream")
+        if isinstance(self.fidelity, str):
+            object.__setattr__(self, "fidelity", Fidelity(self.fidelity))
         if isinstance(self.overrides, dict):
             object.__setattr__(
                 self, "overrides", tuple(sorted(self.overrides.items()))
@@ -160,6 +178,7 @@ class Cell:
             "single_path_id": self.single_path_id,
             "label": self.label,
             "chaos": self.chaos,
+            "fidelity": self.fidelity.value,
             "overrides": canonicalize(dict(self.overrides)),
         }
 
@@ -178,6 +197,7 @@ def make_cell(
     single_path_id: int = 0,
     label: Optional[str] = None,
     chaos: Optional[str] = None,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
     **overrides: Any,
 ) -> Cell:
     """Convenience constructor: keyword overrides become the tuple form."""
@@ -190,6 +210,7 @@ def make_cell(
         single_path_id=single_path_id,
         label=label,
         chaos=chaos,
+        fidelity=Fidelity(fidelity),
         overrides=tuple(sorted(overrides.items())),
     )
 
@@ -269,6 +290,7 @@ def expand_grid(
     duration: float,
     num_streams: int = 1,
     chaos: Optional[str] = None,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
     **overrides: Any,
 ) -> List[Cell]:
     """The common sweep shape: the cross product of paths × systems × seeds.
@@ -288,6 +310,7 @@ def expand_grid(
                         duration=duration,
                         num_streams=num_streams,
                         chaos=chaos,
+                        fidelity=fidelity,
                         **overrides,
                     )
                 )

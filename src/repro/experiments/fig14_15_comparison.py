@@ -18,10 +18,10 @@ variants are qualitatively worse on E2E).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.config import SystemKind
-from repro.experiments.cells import ScenarioPaths, make_cell
+from repro.experiments.cells import Fidelity, ScenarioPaths, make_cell
 from repro.experiments.runner import results_of, run_cells
 from repro.metrics.report import format_table
 
@@ -62,7 +62,10 @@ class ComparisonResult:
 
 
 def cells(
-    duration: float = 60.0, seed: int = 1, num_streams: int = 1
+    duration: float = 60.0,
+    seed: int = 1,
+    num_streams: int = 1,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
 ) -> list:
     spec = ScenarioPaths("driving")  # tmobile, verizon
     return [
@@ -74,6 +77,7 @@ def cells(
             num_streams=num_streams,
             single_path_id=single_path_id,
             label=label,
+            fidelity=fidelity,
         )
         for system, single_path_id, label in RUNS
     ]
@@ -86,9 +90,10 @@ def run(
     jobs: Optional[int] = None,
     cache: Optional[str] = None,
     progress: bool = False,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
 ) -> ComparisonResult:
     report = run_cells(
-        cells(duration, seed, num_streams),
+        cells(duration, seed, num_streams, fidelity=fidelity),
         jobs=jobs, cache=cache, progress=progress,
     )
     rows: List[ComparisonRow] = []
@@ -118,9 +123,15 @@ def main(
     jobs: Optional[int] = None,
     cache: Optional[str] = None,
     progress: bool = False,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
 ) -> str:
     result = run(
-        duration=duration, seed=seed, jobs=jobs, cache=cache, progress=progress
+        duration=duration,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        fidelity=fidelity,
     )
     fig14a = format_table(
         ["system", "norm tput", "norm FPS", "stall frac", "norm QP"],

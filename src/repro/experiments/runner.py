@@ -42,6 +42,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -248,10 +249,19 @@ class RunStats:
     simulated_seconds: float = 0.0
     # Sum of per-cell execution wall time (serial-equivalent cost).
     executed_wall_seconds: float = 0.0
-    # Poison-cell containment accounting.
+    # Poison-cell containment accounting.  ``timeouts`` counts
+    # distinct cells that timed out, not attempts: a quarantined
+    # cell's automatic retry is the same timeout, not a second one.
     timeouts: int = 0
     retried: int = 0
     quarantined: List[str] = field(default_factory=list)
+    _timeout_keys: Set[str] = field(default_factory=set, repr=False)
+
+    def note_timeout(self, key: str) -> None:
+        """Count a timed-out cell once, however many attempts it burns."""
+        if key not in self._timeout_keys:
+            self._timeout_keys.add(key)
+            self.timeouts += 1
 
     @property
     def cache_hit_rate(self) -> float:
@@ -307,7 +317,7 @@ def execute_cell(
     """
     from repro.analysis.export import result_to_dict
     from repro.core.api import build_call_config, run_call
-    from repro.experiments.cells import ScenarioPaths
+    from repro.experiments.cells import Fidelity, ScenarioPaths
     from repro.faults.scenarios import build_chaos_plan
 
     path_configs = cell.paths.build(cell.duration, cell.seed)
@@ -334,13 +344,25 @@ def execute_cell(
     churn_scenario = (
         cell.paths.scenario if isinstance(cell.paths, ScenarioPaths) else None
     )
-    result = run_call(
-        config,
-        path_configs,
-        fault_plan=fault_plan,
-        profiler=profiler,
-        churn_scenario=churn_scenario,
-    )
+    if cell.fidelity is Fidelity.FLOW:
+        # Frame-interval backend; the profiler hooks the packet-level
+        # event loop, so profiling is a packet-fidelity-only feature.
+        from repro.flow.session import run_flow_call
+
+        result = run_flow_call(
+            config,
+            path_configs,
+            fault_plan=fault_plan,
+            churn_scenario=churn_scenario,
+        )
+    else:
+        result = run_call(
+            config,
+            path_configs,
+            fault_plan=fault_plan,
+            profiler=profiler,
+            churn_scenario=churn_scenario,
+        )
     return result_to_dict(result)
 
 
@@ -512,7 +534,7 @@ def run_cells(
             stats.errors += 1
             error = outcome.error or {}
             if error.get("type") == "CellTimeout":
-                stats.timeouts += 1
+                stats.note_timeout(key)
             stats.quarantined.append(
                 f"{outcome.cell.effective_label} seed={outcome.cell.seed}"
             )
@@ -580,17 +602,17 @@ def _run_one(
     while not verdict["ok"] and attempt < retries:
         attempt += 1
         if stats is not None:
-            _note_retry(stats, verdict)
+            _note_retry(stats, verdict, key)
         verdict = _execute_isolated(cell, timeout)
     return _outcome_from_verdict(cell, key, verdict, store)
 
 
-def _note_retry(stats: RunStats, verdict: Dict[str, Any]) -> None:
+def _note_retry(stats: RunStats, verdict: Dict[str, Any], key: str) -> None:
     """Account for one discarded (retried) attempt."""
     stats.retried += 1
     stats.executed_wall_seconds += verdict.get("wall_seconds", 0.0)
     if verdict.get("timed_out"):
-        stats.timeouts += 1
+        stats.note_timeout(key)
 
 
 def _outcome_from_verdict(
@@ -647,7 +669,7 @@ def _run_pool(
             return False
         attempts[key] = attempts.get(key, 0) + 1
         if stats is not None:
-            _note_retry(stats, verdict)
+            _note_retry(stats, verdict, key)
         return True
 
     while queue:

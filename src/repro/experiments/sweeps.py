@@ -16,10 +16,15 @@ parallel and hit the result cache on re-runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.core.config import SystemKind
-from repro.experiments.cells import BuilderPaths, ScenarioPaths, make_cell
+from repro.experiments.cells import (
+    BuilderPaths,
+    Fidelity,
+    ScenarioPaths,
+    make_cell,
+)
 from repro.experiments.common import constant_paths
 from repro.experiments.runner import CellSummary, results_of, run_cells
 from repro.metrics.report import format_table
@@ -69,6 +74,7 @@ def sweep_packet_buffer(
     jobs: Optional[int] = None,
     cache: Optional[str] = None,
     progress: bool = False,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
 ) -> List[SweepPoint]:
     """Smaller packet buffers evict more under multipath skew (§3.2)."""
     job_list = [
@@ -77,6 +83,7 @@ def sweep_packet_buffer(
             SystemKind.CONVERGE,
             seed=seed,
             duration=duration,
+            fidelity=fidelity,
             receiver=ReceiverConfig(
                 packet_buffer=PacketBufferConfig(capacity_packets=capacity)
             ),
@@ -97,6 +104,7 @@ def sweep_playout_deadline(
     jobs: Optional[int] = None,
     cache: Optional[str] = None,
     progress: bool = False,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
 ) -> List[SweepPoint]:
     """Tighter deadlines trade drops for interactivity."""
     job_list = [
@@ -105,6 +113,7 @@ def sweep_playout_deadline(
             SystemKind.CONVERGE,
             seed=seed,
             duration=duration,
+            fidelity=fidelity,
             receiver=ReceiverConfig(max_playout_latency=deadline),
         )
         for deadline in deadlines
@@ -123,6 +132,7 @@ def sweep_loss_model(
     jobs: Optional[int] = None,
     cache: Optional[str] = None,
     progress: bool = False,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
 ) -> List[SweepPoint]:
     """Bernoulli vs Gilbert-Elliott at the same long-run loss rate."""
     kinds = ("bernoulli", "gilbert-elliott")
@@ -136,6 +146,7 @@ def sweep_loss_model(
             seed=seed,
             duration=duration,
             label=kind,
+            fidelity=fidelity,
         )
         for kind in kinds
     ]
@@ -164,17 +175,21 @@ def main(
     jobs: Optional[int] = None,
     cache: Optional[str] = None,
     progress: bool = False,
+    fidelity: Union[Fidelity, str] = Fidelity.PACKET,
 ) -> str:
     rows = []
     for points in (
         sweep_packet_buffer(
-            duration, seed, jobs=jobs, cache=cache, progress=progress
+            duration, seed, jobs=jobs, cache=cache, progress=progress,
+            fidelity=fidelity,
         ),
         sweep_playout_deadline(
-            duration, seed, jobs=jobs, cache=cache, progress=progress
+            duration, seed, jobs=jobs, cache=cache, progress=progress,
+            fidelity=fidelity,
         ),
         sweep_loss_model(
-            duration, seed, jobs=jobs, cache=cache, progress=progress
+            duration, seed, jobs=jobs, cache=cache, progress=progress,
+            fidelity=fidelity,
         ),
     ):
         for p in points:

@@ -1,0 +1,154 @@
+"""Frame outcome model: loss draws, FEC protection, recovery, RTX.
+
+The packet core tracks every RTP packet through queues, loss models,
+FEC groups, and the NACK machinery.  At flow fidelity a frame's fate
+on a path is decided in one shot:
+
+1. draw lost media packets ``~ Binomial(n, loss)`` (plus any queue
+   overflow the link reported),
+2. draw surviving FEC packets the same way and recover up to that many
+   losses — the group-code approximation of the packet core's
+   XOR-group recovery,
+3. any remainder goes through up to :data:`MAX_RTX_ROUNDS` retransmit
+   rounds, each adding one SRTT to the frame's completion time, after
+   which the frame is failed on that path.
+
+Protection overhead comes from the same policies the packet core uses:
+the WebRTC loss-rate table (:func:`repro.fec.tables
+.webrtc_protection_factor`) with fractional carry, or the Converge
+controller's loss-proportional rule with its QoE-feedback beta
+(approximated here by its decay plus an uncovered-loss bump — the
+NACK-driven signal collapsed to the frame outcome we just computed).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Tuple
+
+from repro.core.config import FecMode
+from repro.fec.tables import webrtc_protection_factor
+
+# Retransmission rounds before a frame is abandoned on a path (matches
+# the packet core's NACK retry budget).
+MAX_RTX_ROUNDS = 2
+
+# Converge protection-rule constants, mirrored from
+# repro.fec.converge_controller.ConvergeFecController.
+_MIN_LOSS_FOR_FEC = 0.002
+_MAX_PROTECTED_LOSS = 0.2
+_MAX_PROTECTION = 0.25
+_ROUND_UP_THRESHOLD = 0.15
+_BETA_DECAY = 0.35
+_BETA_MAX = 4.0
+# Uncovered-loss bump: how strongly a frame that FEC failed to cover
+# raises beta, standing in for the controller's NACK-window rule.
+_BETA_BUMP = 0.5
+
+
+def binomial_draw(rng: random.Random, n: int, p: float) -> int:
+    """Inverse-transform Binomial(n, p) draw.
+
+    ``random.Random`` has no binomial sampler on the floor Python this
+    repo supports; the multiplicative PMF walk below costs O(expected
+    successes) per call, which for per-frame loss rates (p << 1) is a
+    couple of iterations — cheaper than n Bernoulli draws and exactly
+    reproducible from the stream.
+    """
+    if n <= 0 or p <= 0.0:
+        return 0
+    if p >= 1.0:
+        return n
+    u = rng.random()
+    q = 1.0 - p
+    ratio = p / q
+    prob = q**n
+    cumulative = prob
+    k = 0
+    while cumulative < u and k < n:
+        k += 1
+        prob *= ratio * (n - k + 1) / k
+        cumulative += prob
+    return k
+
+
+class PathFec:
+    """Per-path FEC protection state at flow fidelity."""
+
+    __slots__ = ("mode", "beta", "_carry", "_last_update")
+
+    def __init__(self, mode: FecMode) -> None:
+        self.mode = mode
+        self.beta = 1.0
+        self._carry = 0.0
+        self._last_update = 0.0
+
+    def packets_for(
+        self, now: float, media_packets: int, loss_rate: float, is_keyframe: bool
+    ) -> int:
+        """FEC packets to send alongside ``media_packets``."""
+        if self.mode is FecMode.NONE or media_packets <= 0:
+            return 0
+        if self.mode is FecMode.WEBRTC_TABLE:
+            protection = webrtc_protection_factor(loss_rate, is_keyframe)
+            exact = protection * media_packets + self._carry
+            fec = int(exact)
+            self._carry = min(max(exact - fec, 0.0), 1.0)
+            return min(fec, media_packets)
+        # FecMode.CONVERGE: loss-proportional with the QoE beta.
+        if loss_rate < _MIN_LOSS_FOR_FEC:
+            self._carry = 0.0
+            return 0
+        elapsed = now - self._last_update
+        if elapsed > 0.0:
+            self.beta = 1.0 + (self.beta - 1.0) * math.exp(-_BETA_DECAY * elapsed)
+            self._last_update = now
+        protection = min(
+            min(loss_rate, _MAX_PROTECTED_LOSS) * self.beta, _MAX_PROTECTION
+        )
+        exact = protection * media_packets + self._carry
+        fec = int(exact)
+        if fec == 0 and exact >= _ROUND_UP_THRESHOLD:
+            fec = 1
+        self._carry = min(max(exact - fec, 0.0), 1.0)
+        return min(fec, media_packets)
+
+    def on_uncovered_loss(self, now: float, uncovered: int, media_packets: int) -> None:
+        """A frame needed RTX: raise beta like the NACK window would."""
+        if self.mode is not FecMode.CONVERGE or media_packets <= 0:
+            return
+        proposed = 1.0 + _BETA_BUMP * uncovered
+        if proposed > self.beta:
+            self.beta = min(proposed, _BETA_MAX)
+        self._last_update = now
+
+
+def path_frame_outcome(
+    rng: random.Random,
+    media_packets: int,
+    fec_packets: int,
+    loss_rate: float,
+    overflow_packets: int,
+) -> Tuple[bool, int, int, int, int]:
+    """Decide one frame's fate on one path.
+
+    Returns ``(delivered, rtx_rounds, lost_media, fec_received,
+    fec_recovered)``.  ``delivered`` is False only when the loss could
+    not be repaired within :data:`MAX_RTX_ROUNDS` retransmit rounds.
+    """
+    lost = binomial_draw(rng, media_packets, loss_rate) + overflow_packets
+    if lost > media_packets:
+        lost = media_packets
+    fec_received = fec_packets - binomial_draw(rng, fec_packets, loss_rate)
+    if lost == 0:
+        return True, 0, 0, fec_received, 0
+    recovered = min(lost, fec_received)
+    remaining = lost - recovered
+    if remaining == 0:
+        return True, 0, lost, fec_received, recovered
+    rounds = 0
+    while remaining > 0 and rounds < MAX_RTX_ROUNDS:
+        rounds += 1
+        remaining = binomial_draw(rng, remaining, loss_rate)
+    return remaining == 0, rounds, lost, fec_received, recovered

@@ -1,0 +1,309 @@
+"""Steady-state approximation of the GCC rate controller.
+
+The packet-level core runs the full delay-gradient pipeline
+(arrival-time trendline, overuse detector, AIMD, probe-burst capacity
+estimation, loss-based branch).  At flow fidelity the controller keeps
+the regimes that pipeline moves through, driven by the fluid
+queue-delay signal from :class:`repro.flow.link.FlowLink`:
+
+- **ramp** — 8 %/s multiplicative increase while the path is
+  saturated (the sender actually offered ~the target; an idle path's
+  estimate stays frozen, exactly like the packet core where no
+  feedback means no AIMD updates),
+- **probe jumps** — the packet sender fires an 8-packet padding burst
+  every 2 s on each healthy media-carrying path (PROBE_BWE); its
+  arrival spacing measures capacity (diluted by per-packet jitter)
+  and the estimate jumps to ``min(0.85 * estimate, 4 * rate)`` — this
+  is what takes the packet GCC from ~1.15 Mbps to several Mbps in one
+  step at t ~ 2.1 s of every golden trace.  The session replays the
+  same 2 s cadence and the same gates (healthy, carrying media, loss
+  under 8 %, no standing queue).  Above ~4.3 Mbps the pacer's
+  inter-packet gap drops under the probe send-gap threshold and every
+  media frame itself becomes a probe burst — that second channel is
+  what lets the packet-level multipath paths climb from ~4 Mbps to
+  link capacity in under a second, so the session replays it too,
+- **overuse backoff** — a standing queue above the detector
+  threshold, or a burst-loss window that trips the trendline, cuts to
+  ``0.85 * delivered`` and latches a link-capacity estimate; from then
+  on, increase near that estimate is *additive* (about one MTU per
+  response time) and capped at ``1.5 * delivered`` — the sticky
+  plateau the packet-level single-path systems settle into,
+- **loss-based branch** — a parallel rate that mimics RTCP-report
+  dynamics: +5 % per report under 2 % loss, multiplicative cut above
+  10 %; burst losses are *diluted* by the report's packet count, so a
+  fast path shrugs off a burst that pins a slow one,
+- **watchdog decay** — multiplicative decay while feedback is dark or
+  the path is in outage (driven by the session, :meth:`decay`).
+
+Every constant lives at module scope so the cross-validation
+tolerance methodology (EXPERIMENTS.md) can point at one place.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.cc.gcc import GccConfig
+
+# Multiplicative increase per second while saturated (GCC's 1.08).
+GROWTH_PER_SECOND = 1.08
+# Standing queue delay that trips the overuse detector
+# (repro.cc.gcc._STANDING_QUEUE_DELAY).
+OVERUSE_QUEUE_DELAY = 0.08
+# Overuse cut factor applied to the delivered rate (AIMD beta).
+BACKOFF_FACTOR = 0.85
+# Hold-off after an overuse cut before increasing again.
+HOLD_SECONDS = 0.25
+# Probability per burst-loss step that the trendline misreads the
+# burst's arrival gaps as overuse (observed in packet traces: bursty
+# paths occasionally take a delay-based cut with no standing queue).
+BURST_OVERUSE_PROBABILITY = 0.18
+# Loss level that counts as a burst for the misfire draw.
+BURST_LOSS_FLOOR = 0.15
+# One padding probe burst's measurable payload: the packet sender
+# fires 8 x 800 B back-to-back every 2 s (core.sender) and the GCC
+# estimator rates the burst over ``run[1:]`` — seven packets.
+PROBE_RUN_BITS = 7 * 800 * 8
+# Arrival-time jitter spread across a probe burst.  The burst leaves
+# back-to-back but arrives smeared by per-packet jitter, so the
+# measured rate is run_bits / (jitter_span + serialization) — a padding
+# burst's estimate saturates around ~5 Mbps however fast the link is,
+# which is exactly what the packet traces show (a ~14 Mbps driving
+# path probes at ~4.9 Mbps at t = 2.1 s); the larger frame bursts of
+# the fast-pacing regime amortize the jitter and measure capacity
+# nearly exactly.
+PROBE_JITTER_SPAN = 0.006
+# AIMD near-convergence window around the latched capacity estimate.
+NEAR_CONVERGENCE_WINDOW = 0.25
+# Loss-based branch report interval and thresholds (loss_based.py).
+LOSS_REPORT_INTERVAL = 0.1
+LOSS_CUT_THRESHOLD = 0.10
+LOSS_PROBE_THRESHOLD = 0.02
+# Expected packets a Gilbert-Elliott burst destroys (dwell * loss).
+BURST_EXPECTED_LOSSES = 2.0
+# RTT smoothing gain (classic SRTT).
+RTT_SMOOTHING = 0.125
+# Delivered-rate EWMA time constant (the 1 s acked-bytes window).
+DELIVERED_WINDOW = 1.0
+
+_MTU_BITS = 1200 * 8
+
+
+class SteadyStateGcc:
+    """Per-path flow-level congestion controller."""
+
+    __slots__ = (
+        "rate",
+        "loss_rate",
+        "srtt",
+        "frozen",
+        "delivered",
+        "offered_avg",
+        "_min_rate",
+        "_max_rate",
+        "_hold_until",
+        "_capacity_estimate",
+        "_loss_report_accum",
+    )
+
+    def __init__(self, config: GccConfig, base_rtt: float) -> None:
+        self.rate = float(config.initial_rate)
+        self.loss_rate = float(config.initial_rate)
+        self.srtt = max(base_rtt, 1e-3)
+        # While True the controller neither grows nor cuts (feedback
+        # blackout: the sender flies blind on a stale estimate).
+        self.frozen = False
+        self.delivered = 0.0
+        self.offered_avg = 0.0
+        self._min_rate = float(config.min_rate)
+        self._max_rate = float(config.max_rate)
+        self._hold_until = 0.0
+        self._capacity_estimate: Optional[float] = None
+        self._loss_report_accum = 0.0
+
+    def target(self) -> float:
+        """The per-path sending rate ``S_i`` (bps)."""
+        rate = self.rate
+        if self.loss_rate < rate:
+            rate = self.loss_rate
+        if rate < self._min_rate:
+            return self._min_rate
+        return rate
+
+    def observe_rtt(self, rtt_sample: float) -> None:
+        self.srtt += RTT_SMOOTHING * (rtt_sample - self.srtt)
+
+    def observe_delivered(self, rate_bps: float, dt: float) -> None:
+        """Fold one step's delivered rate into the 1 s window estimate.
+
+        The first sample seeds the window directly: the packet core's
+        incoming-rate estimator reports the actual arrival rate from
+        its first window, never a zero-biased warm-up, and a cold EWMA
+        here would let the ``1.5 x delivered`` saturation cap choke
+        the ramp at the first frame.
+        """
+        if self.delivered <= 0.0:
+            self.delivered = rate_bps
+            return
+        alpha = 1.0 - math.exp(-dt / DELIVERED_WINDOW)
+        self.delivered += alpha * (rate_bps - self.delivered)
+
+    def observe_offered(self, rate_bps: float, dt: float) -> None:
+        """Fold one step's offered (sent) rate into its 1 s window.
+
+        The packet core's ``path_saturated`` check compares the target
+        against a trailing window of *acked sends*, which lags a probe
+        jump by up to a second — during that transient the path reads
+        as unsaturated, so neither the 1.5x-delivered cap nor the
+        multiplicative ramp applies and the jumped rate simply holds.
+        Using the instantaneous offered rate here would re-engage the
+        cap one frame after every jump and strangle it.
+        """
+        if self.offered_avg <= 0.0:
+            self.offered_avg = rate_bps
+            return
+        alpha = 1.0 - math.exp(-dt / DELIVERED_WINDOW)
+        self.offered_avg += alpha * (rate_bps - self.offered_avg)
+
+    def advance(
+        self,
+        now: float,
+        dt: float,
+        capacity: float,
+        queue_delay: float,
+        probe_run_bits: float,
+        peak_loss: float,
+        base_loss: float,
+        offered_bps: float,
+        delivered_bps: float,
+        rtt_sample: float,
+        win_alpha: float,
+        rng: random.Random,
+    ) -> None:
+        """One-call step: fold the frame's samples, then update.
+
+        Fuses :meth:`observe_rtt`, :meth:`observe_offered`,
+        :meth:`observe_delivered` and :meth:`update` so the session's
+        hot loop pays one method call per path per frame instead of
+        four.  ``win_alpha`` is the precomputed 1 s-window EWMA gain
+        ``1 - exp(-dt / DELIVERED_WINDOW)`` (``dt`` is constant over a
+        call, so the caller computes it once).  In outage
+        (``capacity <= 0``) the samples are folded but the rate logic
+        does not run — the watchdog owns the rate then.
+        """
+        self.srtt += RTT_SMOOTHING * (rtt_sample - self.srtt)
+        if self.offered_avg <= 0.0:
+            self.offered_avg = offered_bps
+        else:
+            self.offered_avg += win_alpha * (offered_bps - self.offered_avg)
+        if self.delivered <= 0.0:
+            self.delivered = delivered_bps
+        else:
+            self.delivered += win_alpha * (delivered_bps - self.delivered)
+        if capacity > 0.0:
+            self.update(
+                now,
+                dt,
+                capacity,
+                queue_delay,
+                probe_run_bits,
+                peak_loss,
+                base_loss,
+                offered_bps,
+                rng,
+            )
+
+    def decay(self, dt: float, factor: float, interval: float) -> None:
+        """Watchdog decay while the path is silent or in outage."""
+        scaled = factor ** (dt / interval)
+        self.rate = max(self.rate * scaled, self._min_rate)
+        self.loss_rate = max(self.loss_rate * scaled, self._min_rate)
+
+    def update(
+        self,
+        now: float,
+        dt: float,
+        capacity: float,
+        queue_delay: float,
+        probe_run_bits: float,
+        peak_loss: float,
+        base_loss: float,
+        offered: float,
+        rng: random.Random,
+    ) -> float:
+        """Advance one frame interval; returns the new target rate."""
+        if self.frozen:
+            return self.target()
+        rate = self.rate
+        delivered = self.delivered
+        burst = peak_loss >= BURST_LOSS_FLOOR
+
+        overuse = queue_delay > OVERUSE_QUEUE_DELAY or (
+            burst and rng.random() < BURST_OVERUSE_PROBABILITY
+        )
+        if overuse:
+            base = delivered if delivered > 0.0 else rate
+            cut = BACKOFF_FACTOR * base
+            if cut < rate:
+                rate = cut
+            self._capacity_estimate = delivered if delivered > 0.0 else rate
+            self._hold_until = now + HOLD_SECONDS
+        elif now >= self._hold_until:
+            saturated = self.offered_avg >= 0.7 * rate
+            estimate = self._capacity_estimate
+            near = (
+                estimate is not None
+                and (1.0 - NEAR_CONVERGENCE_WINDOW) * estimate
+                <= delivered
+                <= (1.0 + NEAR_CONVERGENCE_WINDOW) * estimate
+            )
+            if near:
+                # Additive: about one MTU per response time.
+                rate += 0.5 * _MTU_BITS / max(self.srtt + 0.1, 1e-3) * dt
+            elif saturated:
+                rate *= GROWTH_PER_SECOND**dt
+            if saturated and delivered > 0.0:
+                cap_rate = 1.5 * delivered + 10_000.0
+                if rate > cap_rate:
+                    rate = cap_rate
+            if probe_run_bits > 0.0 and capacity > 0.0:
+                # PROBE_BWE: the burst's arrival rate, smeared by
+                # per-packet jitter on top of serialization time.
+                estimate_bps = probe_run_bits / (
+                    PROBE_JITTER_SPAN + probe_run_bits / capacity
+                )
+                if estimate_bps > 1.5 * rate:
+                    rate = min(0.85 * estimate_bps, 4.0 * rate)
+                    if self.loss_rate < rate:
+                        self.loss_rate = rate
+
+        # Loss-based branch, at RTCP report cadence.
+        self._loss_report_accum += dt
+        while self._loss_report_accum >= LOSS_REPORT_INTERVAL:
+            self._loss_report_accum -= LOSS_REPORT_INTERVAL
+            fraction = base_loss
+            if burst and base_loss <= LOSS_CUT_THRESHOLD:
+                report_packets = max(
+                    offered * LOSS_REPORT_INTERVAL / _MTU_BITS, 1.0
+                )
+                fraction = min(
+                    peak_loss, BURST_EXPECTED_LOSSES / report_packets
+                )
+            if fraction > LOSS_CUT_THRESHOLD:
+                self.loss_rate *= 1.0 - 0.5 * fraction
+            elif fraction < LOSS_PROBE_THRESHOLD:
+                self.loss_rate *= 1.05
+        cap_loss = 2.0 * rate
+        if self.loss_rate > cap_loss:
+            self.loss_rate = cap_loss
+        elif self.loss_rate < self._min_rate:
+            self.loss_rate = self._min_rate
+
+        if rate < self._min_rate:
+            rate = self._min_rate
+        elif rate > self._max_rate:
+            rate = self._max_rate
+        self.rate = rate
+        return self.target()

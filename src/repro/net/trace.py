@@ -59,6 +59,34 @@ class BandwidthTrace:
         index = bisect_right(self._times, time) - 1
         return self._values[index if index > 0 else 0]
 
+    def sample_steps(self, dt: float, steps: int) -> List[float]:
+        """Capacities at ``i * dt`` for ``i in range(steps)``.
+
+        Equivalent to calling :meth:`capacity_at` once per step but in
+        ``O(steps + segments)``: the query times are monotone within a
+        loop iteration, so one index walks the segment list instead of
+        bisecting per query.  Used by the flow-level backend to take
+        trace lookups out of its per-frame hot loop.
+        """
+        times = self._times
+        values = self._values
+        last = len(times) - 1
+        wrap = self.loop and self.duration > 0
+        duration = self.duration
+        out: List[float] = []
+        index = 0
+        for i in range(steps):
+            time = i * dt
+            if wrap:
+                time = time % duration
+                if time < times[index]:
+                    index = 0
+            # Largest segment whose start is <= time (bisect_right - 1).
+            while index < last and times[index + 1] <= time:
+                index += 1
+            out.append(values[index])
+        return out
+
     def mean_capacity(self, start: float = 0.0, end: float | None = None) -> float:
         """Time-weighted mean capacity over ``[start, end]``."""
         if end is None:

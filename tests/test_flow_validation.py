@@ -1,0 +1,195 @@
+"""Cross-validation: the flow backend against the packet goldens.
+
+Every golden fixture in ``tests/goldens/`` is re-run at flow fidelity
+and each headline QoE metric must land inside a declared tolerance
+band of the packet-level value.  The bands are wide by design — a
+4 s single-seed call is dominated by a handful of discrete burst-loss
+events, so the flow model is validated on *regime agreement* (does
+the system ramp, freeze, and drop frames like the packet core does),
+not on sample-level equality.  EXPERIMENTS.md ("Fidelity") documents
+the methodology; DESIGN.md lists the model's known divergences.
+
+On failure the assertion message renders a per-scenario error table
+(metric, flow value, golden value, error, bound) so drift is readable
+without re-running anything.
+"""
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.core.config import SystemKind
+from repro.experiments.cells import Cell, ScenarioPaths, make_cell
+from repro.experiments.runner import results_of, run_cells
+from repro.metrics.report import format_table
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+DURATION = 4.0
+SEED = 1
+
+# Tolerance bands, named to the golden summary fields they bound.
+# ``rel`` bounds |flow - golden| / golden; ``abs`` bounds the raw
+# difference.  Stall is compared as a fraction of call duration so
+# the band means the same thing for any golden length.
+THROUGHPUT_REL = 0.50
+STALL_RATIO_ABS = 0.25
+FPS_ABS = 8.0
+E2E_P95_ABS = 0.25
+FRAME_DROPS_ABS = 30
+
+
+def _flow_cell(name: str) -> Cell:
+    if name == "converge_path-churn":
+        return make_cell(
+            ScenarioPaths("migration"),
+            SystemKind.CONVERGE,
+            seed=SEED,
+            duration=DURATION,
+            chaos="path-churn",
+            fidelity="flow",
+        )
+    return make_cell(
+        ScenarioPaths("driving"),
+        SystemKind(name),
+        seed=SEED,
+        duration=DURATION,
+        fidelity="flow",
+    )
+
+
+def _golden_names() -> List[str]:
+    return sorted(path.stem for path in GOLDEN_DIR.glob("*.json"))
+
+
+def _golden_summary(name: str) -> Dict[str, object]:
+    record = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    summary: Dict[str, object] = record["summary"]
+    return summary
+
+
+class _Check:
+    """One metric comparison: holds the row and whether it passed."""
+
+    def __init__(
+        self,
+        metric: str,
+        flow: float,
+        golden: float,
+        error: float,
+        bound: float,
+        unit: str,
+    ) -> None:
+        self.metric = metric
+        self.flow = flow
+        self.golden = golden
+        self.error = error
+        self.bound = bound
+        self.unit = unit
+
+    @property
+    def ok(self) -> bool:
+        return self.error <= self.bound
+
+    def row(self) -> List[object]:
+        flag = "" if self.ok else "FAIL"
+        return [
+            self.metric,
+            f"{self.flow:.3f}",
+            f"{self.golden:.3f}",
+            f"{self.error:.3f}",
+            f"{self.bound:.3f}",
+            self.unit,
+            flag,
+        ]
+
+
+def _compare(flow: Dict[str, object], golden: Dict[str, object]) -> List[_Check]:
+    def scalar(summary: Dict[str, object], key: str) -> float:
+        return float(summary[key])  # type: ignore[arg-type]
+
+    tput_f = scalar(flow, "throughput_bps")
+    tput_g = scalar(golden, "throughput_bps")
+    stall_f = scalar(flow, "freeze_total") / DURATION
+    stall_g = scalar(golden, "freeze_total") / DURATION
+    return [
+        _Check(
+            "throughput_bps",
+            tput_f,
+            tput_g,
+            abs(tput_f - tput_g) / tput_g,
+            THROUGHPUT_REL,
+            "rel",
+        ),
+        _Check(
+            "stall_ratio",
+            stall_f,
+            stall_g,
+            abs(stall_f - stall_g),
+            STALL_RATIO_ABS,
+            "abs",
+        ),
+        _Check(
+            "average_fps",
+            scalar(flow, "average_fps"),
+            scalar(golden, "average_fps"),
+            abs(scalar(flow, "average_fps") - scalar(golden, "average_fps")),
+            FPS_ABS,
+            "abs",
+        ),
+        _Check(
+            "e2e_p95",
+            scalar(flow, "e2e_p95"),
+            scalar(golden, "e2e_p95"),
+            abs(scalar(flow, "e2e_p95") - scalar(golden, "e2e_p95")),
+            E2E_P95_ABS,
+            "abs",
+        ),
+        _Check(
+            "frame_drops",
+            scalar(flow, "frame_drops"),
+            scalar(golden, "frame_drops"),
+            abs(scalar(flow, "frame_drops") - scalar(golden, "frame_drops")),
+            FRAME_DROPS_ABS,
+            "abs",
+        ),
+    ]
+
+
+def _error_table(name: str, checks: List[_Check]) -> str:
+    table = format_table(
+        ["metric", "flow", "golden", "error", "bound", "unit", ""],
+        [check.row() for check in checks],
+    )
+    return f"flow-vs-golden divergence for {name!r}:\n{table}"
+
+
+@pytest.fixture(scope="module")
+def flow_summaries() -> Dict[str, Dict[str, object]]:
+    """Every golden scenario re-run at flow fidelity, in one batch."""
+    names = _golden_names()
+    cells = [_flow_cell(name) for name in names]
+    summaries = results_of(run_cells(cells, jobs=1))
+    return {
+        name: summary.data["summary"]
+        for name, summary in zip(names, summaries)
+    }
+
+
+@pytest.mark.parametrize("name", _golden_names())
+def test_flow_matches_golden_within_tolerance(
+    name: str, flow_summaries: Dict[str, Dict[str, object]]
+) -> None:
+    checks = _compare(flow_summaries[name], _golden_summary(name))
+    failing = [check for check in checks if not check.ok]
+    assert not failing, _error_table(name, checks)
+
+
+def test_all_golden_scenarios_have_flow_coverage() -> None:
+    """Adding a golden without extending ``_flow_cell`` must fail
+    loudly here, not silently skip cross-validation."""
+    for name in _golden_names():
+        cell: Optional[Cell] = _flow_cell(name)
+        assert cell is not None
+        assert cell.fidelity.value == "flow"

@@ -1,0 +1,152 @@
+"""Benchmark: array-batched fleet execution vs the pooled scalar flow path.
+
+Runs a 1000-cell seed sweep (converge, driving, flow fidelity) through
+:func:`repro.experiments.runner.run_cells` twice — the process-pooled
+scalar mode and the in-process array batch mode — and emits
+``BENCH_fleet.json`` with cells/sec per arm, the speedup, and the
+batch-vs-scalar payload agreement count (the equivalence contract of
+DESIGN.md §11: every payload byte-identical).
+
+Methodology: cells are expanded outside the timed region; one untimed
+small batch absorbs import and numpy warm-up costs; the scalar arm is
+timed once on a sampled subset (it dominates the budget — its
+per-cell wall is duration-invariant and extrapolates linearly) and
+the batch arm reports the best of ``REPRO_FLEET_ROUNDS`` full sweeps.
+Payload agreement is asserted on the sampled subset.
+
+Knobs (environment): ``REPRO_FLEET_CELLS`` (sweep width, default
+1000), ``REPRO_FLEET_BENCH_DURATION`` (simulated seconds per cell,
+default 60), ``REPRO_FLEET_ROUNDS`` (default 3),
+``REPRO_FLEET_SCALAR_SAMPLE`` (scalar-arm subset, default 32),
+``REPRO_FLEET_MIN_SPEEDUP`` (default 3.0 — measured honestly on a
+single-core container; see EXPERIMENTS.md "Fleet"),
+``REPRO_BENCH_SEED``, ``REPRO_BENCH_JOBS`` (scalar pool width,
+default 2), ``REPRO_BENCH_OUT`` (output directory).
+"""
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.core.config import SystemKind
+from repro.experiments.cells import (
+    Fidelity,
+    ScenarioPaths,
+    canonical_json,
+    make_cell,
+)
+from repro.experiments.runner import results_of, run_cells
+from repro.metrics.report import format_table
+
+
+def _cells(n, duration, seed_start):
+    return [
+        make_cell(
+            ScenarioPaths("driving"),
+            SystemKind.CONVERGE,
+            seed=seed,
+            duration=duration,
+            fidelity=Fidelity.FLOW,
+        )
+        for seed in range(seed_start, seed_start + n)
+    ]
+
+
+def test_bench_fleet(bench_seed):
+    n = int(os.environ.get("REPRO_FLEET_CELLS", 1000))
+    duration = float(os.environ.get("REPRO_FLEET_BENCH_DURATION", 60.0))
+    rounds = int(os.environ.get("REPRO_FLEET_ROUNDS", 3))
+    sample = min(int(os.environ.get("REPRO_FLEET_SCALAR_SAMPLE", 32)), n)
+    min_speedup = float(os.environ.get("REPRO_FLEET_MIN_SPEEDUP", 3.0))
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", 2))
+
+    cells = _cells(n, duration, bench_seed)
+    sampled = cells[:sample]
+
+    # Warm-up, untimed: imports, numpy dispatch, trace construction.
+    run_cells(_cells(2, duration, bench_seed + n), mode="batch")
+
+    batch_wall = None
+    batch_report = None
+    for _ in range(max(rounds, 1)):
+        start = perf_counter()
+        report = run_cells(cells, mode="batch")
+        wall = perf_counter() - start
+        if batch_wall is None or wall < batch_wall:
+            batch_wall = wall
+            batch_report = report
+    assert batch_report is not None and batch_report.ok()
+
+    start = perf_counter()
+    scalar_report = run_cells(sampled, jobs=jobs)
+    scalar_sample_wall = perf_counter() - start
+    assert scalar_report.ok()
+    scalar_wall = scalar_sample_wall * (n / sample)
+
+    # Equivalence contract: the sampled scalar payloads must be
+    # byte-identical to the batch arm's payloads for the same cells.
+    batch_payloads = [s.data for s in results_of(batch_report)[:sample]]
+    scalar_payloads = [s.data for s in results_of(scalar_report)]
+    agreement = sum(
+        canonical_json(b) == canonical_json(s)
+        for b, s in zip(batch_payloads, scalar_payloads)
+    )
+
+    speedup = scalar_wall / batch_wall
+    rows = [
+        [
+            f"scalar (jobs={jobs})",
+            f"{sample} (x{n // sample})",
+            f"{scalar_wall:.1f}",
+            f"{n / scalar_wall:.1f}",
+            "1x",
+        ],
+        [
+            "batch",
+            str(n),
+            f"{batch_wall:.1f}",
+            f"{n / batch_wall:.1f}",
+            f"{speedup:.1f}x",
+        ],
+    ]
+    print()
+    print(format_table(["mode", "cells", "wall s", "cells/s", "speedup"],
+                       rows))
+    print(f"payload agreement {agreement}/{sample}")
+
+    out_dir = Path(
+        os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent.parent)
+    )
+    payload = {
+        "benchmark": "fleet",
+        "grid": "converge/driving seed sweep",
+        "duration": duration,
+        "seed": bench_seed,
+        "rounds": rounds,
+        "cells": n,
+        "scalar": {
+            "jobs": jobs,
+            "sampled_cells": sample,
+            "wall_seconds": scalar_wall,
+            "cells_per_second": n / scalar_wall,
+        },
+        "batch": {
+            "wall_seconds": batch_wall,
+            "cells_per_second": n / batch_wall,
+        },
+        "speedup": speedup,
+        "agreement": {"matched": agreement, "compared": sample},
+    }
+    target = out_dir / "BENCH_fleet.json"
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {target}")
+
+    assert agreement == sample, (
+        f"batch payloads diverged from scalar on "
+        f"{sample - agreement}/{sample} cells"
+    )
+    assert speedup >= min_speedup, (
+        f"batch mode is only {speedup:.1f}x faster than the pooled scalar "
+        f"flow path on the {n}-cell sweep (floor: {min_speedup:.1f}x)"
+    )

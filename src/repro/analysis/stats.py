@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -41,6 +43,45 @@ def describe(values: Sequence[float]) -> Dict[str, float]:
         "p95": percentile(values, 95),
         "max": max(values),
     }
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed_label: str = "bootstrap",
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the sample mean.
+
+    Resampling is driven by a :class:`random.Random` seeded from
+    ``seed_label`` (hashed, not Python's salted ``hash``), so the
+    interval is a deterministic function of the sample and the label —
+    fleet reports are byte-identical run to run, and independent of
+    resample order across shard merges because the statistics are
+    computed after aggregation.
+    """
+    if not values:
+        raise ValueError("bootstrap_ci of empty sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1): {confidence}")
+    if resamples < 1:
+        raise ValueError("need at least one resample")
+    n = len(values)
+    if n == 1:
+        return values[0], values[0]
+    digest = hashlib.sha256(seed_label.encode("utf-8")).digest()
+    rng = random.Random(int.from_bytes(digest[:8], "big"))
+    means = []
+    for _ in range(resamples):
+        total = 0.0
+        for _ in range(n):
+            total += values[rng.randrange(n)]
+        means.append(total / n)
+    alpha = 1.0 - confidence
+    return (
+        percentile(means, 100.0 * (alpha / 2.0)),
+        percentile(means, 100.0 * (1.0 - alpha / 2.0)),
+    )
 
 
 def rolling_mean(

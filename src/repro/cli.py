@@ -6,10 +6,13 @@ Usage::
     python -m repro run --jobs 4 --cache ~/.cache/repro-converge
     python -m repro compare --scenario walking --duration 30
     python -m repro sweep --systems converge srtt --seeds 4 --jobs 4
+    python -m repro fleet --scenarios driving --seeds 200 --mode batch
     python -m repro experiment fig12 --duration 60 --jobs 8
     python -m repro profile fig14 --duration 12 --top 20
     python -m repro chaos --chaos rtcp-blackout --scenario driving
     python -m repro cache ls
+    python -m repro cache shard --shards 4 --out shards/
+    python -m repro cache merge shards/shard-0 shards/shard-1
     python -m repro cache clear
     python -m repro lint --format json
     python -m repro list
@@ -172,8 +175,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="write the full run report (stats + every cell) as JSON",
     )
+    sweep_parser.add_argument(
+        "--mode", choices=["scalar", "batch"], default="scalar",
+        help="batch: group compatible flow cells into array batches "
+        "(byte-identical to scalar execution)",
+    )
     _add_fidelity_arg(sweep_parser)
     _add_runner_args(sweep_parser)
+
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="run a seeded scenario matrix and report QoE distributions",
+    )
+    fleet_parser.add_argument(
+        "--scenarios", nargs="+", choices=SCENARIOS, default=["driving"]
+    )
+    fleet_parser.add_argument(
+        "--systems", nargs="+",
+        choices=[s.value for s in SystemKind],
+        default=[s.value for s in SystemKind],
+    )
+    fleet_parser.add_argument(
+        "--seeds", type=int, default=32, metavar="N",
+        help="seeds per matrix point (seed, seed+1, ...)",
+    )
+    fleet_parser.add_argument("--seed", type=int, default=1)
+    fleet_parser.add_argument("--duration", type=float, default=30.0)
+    fleet_parser.add_argument("--streams", type=int, default=1)
+    fleet_parser.add_argument(
+        "--mode", choices=["batch", "scalar"], default="batch",
+        help="batch: group compatible flow cells into array batches "
+        "(byte-identical to scalar); scalar: per-process execution",
+    )
+    fleet_parser.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="bootstrap confidence level for the per-metric mean CI",
+    )
+    fleet_parser.add_argument(
+        "--resamples", type=int, default=1000,
+        help="bootstrap resamples per metric",
+    )
+    fleet_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full fleet report (per-group distributions) as JSON",
+    )
+    fleet_parser.add_argument(
+        "--fidelity",
+        choices=[f.value for f in Fidelity],
+        default=Fidelity.FLOW.value,
+        help="simulation backend (fleet default: the flow fast path)",
+    )
+    _add_runner_args(fleet_parser)
 
     chaos_parser = sub.add_parser(
         "chaos", help="run one call under an injected fault plan"
@@ -257,6 +309,34 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache", metavar="DIR", default=None,
             help=f"cache directory (default: {default_cache_dir()})",
         )
+    merge_cmd = cache_sub.add_parser(
+        "merge",
+        help="fold other caches' entries into this one (sharded sweeps)",
+    )
+    merge_cmd.add_argument(
+        "sources", nargs="+", metavar="DIR",
+        help="shard cache directories to merge in",
+    )
+    merge_cmd.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help=f"target cache directory (default: {default_cache_dir()})",
+    )
+    shard_cmd = cache_sub.add_parser(
+        "shard",
+        help="partition this cache's entries into N shard caches",
+    )
+    shard_cmd.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="number of shards (content-addressed assignment)",
+    )
+    shard_cmd.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory receiving shard-0 ... shard-N-1 caches",
+    )
+    shard_cmd.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help=f"source cache directory (default: {default_cache_dir()})",
+    )
 
     lint_parser = sub.add_parser(
         "lint",
@@ -490,6 +570,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=args.cache,
         progress=args.progress,
         cell_timeout=args.cell_timeout,
+        mode=args.mode,
     )
     # Per (scenario, system) seed-averaged rows; failures counted, not fatal.
     rows = []
@@ -541,6 +622,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         target = save_run_report_json(report, args.json)
         print(f"wrote {target}")
     return 0 if report.ok() else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.experiments.fleet import FleetSpec, run_fleet
+
+    spec = FleetSpec.from_ranges(
+        scenarios=args.scenarios,
+        systems=[SystemKind(system) for system in args.systems],
+        seed_start=args.seed,
+        seed_count=max(args.seeds, 1),
+        duration=args.duration,
+        fidelity=args.fidelity,
+        num_streams=args.streams,
+    )
+    report = run_fleet(
+        spec,
+        jobs=args.jobs,
+        cache=args.cache,
+        progress=args.progress,
+        cell_timeout=args.cell_timeout,
+        mode=args.mode,
+        confidence=args.confidence,
+        resamples=args.resamples,
+    )
+
+    def ci(group_metrics, metric: str, scale: float = 1.0) -> str:
+        row = group_metrics.get(metric)
+        if row is None:
+            return "-"
+        return (
+            f"{scale * row['mean']:.2f} "
+            f"[{scale * row['ci_lo']:.2f}, {scale * row['ci_hi']:.2f}]"
+        )
+
+    rows = []
+    for group in report.groups:
+        rows.append(
+            [
+                group.scenario,
+                group.system,
+                group.n,
+                ci(group.metrics, "throughput_bps", 1e-6),
+                ci(group.metrics, "average_fps"),
+                ci(group.metrics, "e2e_p95", 1000.0),
+                ci(group.metrics, "freeze_total"),
+                ci(group.metrics, "frame_drops"),
+                group.failed,
+            ]
+        )
+    pct = f"{100.0 * args.confidence:g}%"
+    print(
+        format_table(
+            ["scenario", "system", "n", f"tput Mbps [{pct}]",
+             f"FPS [{pct}]", f"E2E p95 ms [{pct}]", f"stall s [{pct}]",
+             f"drops [{pct}]", "failed"],
+            rows,
+        )
+    )
+    stats = report.stats
+    rate = (
+        f" ({stats.cells_unique / stats.wall_seconds:.1f} cells/s)"
+        if stats.wall_seconds > 0
+        else ""
+    )
+    print(
+        f"\n{stats.cells_total} cells ({stats.cells_unique} unique), "
+        f"{stats.executed} executed, {stats.cache_hits} cached "
+        f"({100 * stats.cache_hit_rate:.0f}%), {stats.errors} errors, "
+        f"{stats.wall_seconds:.1f}s wall{rate}"
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.payload(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if stats.errors == 0 else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -646,6 +802,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = ResultCache(args.cache)
+    if args.cache_command == "merge":
+        result = store.merge(args.sources)
+        print(
+            f"merged {result['merged']} entries into {store.root} "
+            f"({result['skipped']} already present)"
+        )
+        return 0
+    if args.cache_command == "shard":
+        if args.shards < 1:
+            print("need at least one shard", file=sys.stderr)
+            return 2
+        from pathlib import Path
+
+        out = Path(args.out)
+        dirs = [out / f"shard-{i}" for i in range(args.shards)]
+        counts = store.shard(dirs)
+        for directory, count in zip(dirs, counts):
+            print(f"{directory}: {count} entries")
+        print(f"sharded {sum(counts)} entries from {store.root}")
+        return 0
     if args.cache_command == "ls":
         rows = store.ls()
         if not rows:
@@ -697,6 +873,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "fleet": _cmd_fleet,
         "experiment": _cmd_experiment,
         "profile": _cmd_profile,
         "cache": _cmd_cache,

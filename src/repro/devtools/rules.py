@@ -296,7 +296,16 @@ class WallClockRule(Rule):
 # seeded streams are built); drawing from the module-global instance or
 # reseeding it is not.
 _RANDOM_ALLOWED_ATTRS = {"Random", "SystemRandom"}
-_NUMPY_RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+_NUMPY_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    # Legacy MT19937 stream, constructed with an explicit key: the
+    # flow batch backend uses it to replay random.Random's exact
+    # double stream across a whole cell batch.
+    "RandomState",
+}
 
 
 class GlobalRandomRule(Rule):

@@ -24,7 +24,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.experiments.cells import CODE_VERSION, canonical_json
 
@@ -137,6 +137,92 @@ class ResultCache:
             # Cache metadata wants real wall-clock age, not sim time.
             "created": time.time(),  # lint: ok(R001)
             "wall_seconds": wall_seconds,
+        }
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(target.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as temp:
+                temp.write(canonical_json(payload))
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    # -- sharding -----------------------------------------------------------
+
+    def shard_of(self, key: str, shards: int) -> int:
+        """Which of ``shards`` shards owns ``key``.
+
+        Content-addressed assignment (the key's leading hex digits mod
+        the shard count), so the split is deterministic: any machine
+        slicing the same sweep produces the same partition.
+        """
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        return int(key[:8], 16) % shards
+
+    def shard(self, out_dirs: Sequence[Union[str, Path]]) -> List[int]:
+        """Partition this cache's entries across ``out_dirs``.
+
+        Every valid entry is copied (not moved) into the shard cache
+        that :meth:`shard_of` assigns it, preserving its stored bytes
+        and provenance metadata.  Returns the per-shard entry counts.
+        """
+        targets = [ResultCache(d) for d in out_dirs]
+        counts = [0] * len(targets)
+        for entry in self.entries():
+            index = self.shard_of(entry.key, len(targets))
+            targets[index]._put_entry(entry)
+            counts[index] += 1
+        return counts
+
+    def merge(
+        self, sources: Sequence[Union[str, Path, "ResultCache"]]
+    ) -> Dict[str, int]:
+        """Fold other caches' entries into this one.
+
+        Entries are copied with their provenance intact; a key already
+        present here wins (first writer wins — both sides stored the
+        same content-addressed summary, so the race is benign, and a
+        divergent duplicate would indicate a corrupt source anyway).
+        Corrupt source entries are skipped, not imported.  Returns
+        ``{"merged": n, "skipped": n}``.
+        """
+        merged = 0
+        skipped = 0
+        for source in sources:
+            cache = (
+                source
+                if isinstance(source, ResultCache)
+                else ResultCache(source)
+            )
+            if cache.root.resolve() == self.root.resolve():
+                continue
+            for entry in cache.entries():
+                if self.path_for(entry.key).is_file():
+                    skipped += 1
+                    continue
+                self._put_entry(entry)
+                merged += 1
+        return {"merged": merged, "skipped": skipped}
+
+    def _put_entry(self, entry: CacheEntry) -> Path:
+        """Store a foreign entry verbatim (provenance preserved)."""
+        target = self.path_for(entry.key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": entry.key,
+            "cell": entry.cell,
+            "summary": entry.summary,
+            "checksum": summary_checksum(entry.summary),
+            "code_version": entry.code_version,
+            "created": entry.created,
+            "wall_seconds": entry.wall_seconds,
         }
         handle, temp_name = tempfile.mkstemp(
             dir=str(target.parent), suffix=".tmp"

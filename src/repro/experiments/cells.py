@@ -168,7 +168,22 @@ class Cell:
         return dict(self.overrides)
 
     def resolved(self) -> Dict[str, Any]:
-        """The cell as canonical, JSON-able data (its identity)."""
+        """The cell as canonical, JSON-able data (its identity).
+
+        Memoized per instance (the cell is frozen, so its identity
+        never changes): sweeps probe the cache, plan batches and store
+        results against the same cells, and profiling showed the
+        canonicalization re-running on every probe.  Treat the
+        returned dict as immutable — copy before editing.
+        """
+        cached = self.__dict__.get("_resolved_memo")
+        if cached is not None:
+            return cached  # type: ignore[no-any-return]
+        resolved = self._compute_resolved()
+        object.__setattr__(self, "_resolved_memo", resolved)
+        return resolved
+
+    def _compute_resolved(self) -> Dict[str, Any]:
         return {
             "paths": canonicalize(self.paths),
             "system": self.system.value,
@@ -270,8 +285,18 @@ def canonical_json(value: Any) -> str:
 
 
 def cell_key(cell: Cell) -> str:
-    """SHA-256 of the resolved cell plus the code-version salt."""
+    """SHA-256 of the resolved cell plus the code-version salt.
+
+    Memoized per Cell instance (keyed by the salt, which can change
+    between sweeps via ``REPRO_CACHE_SALT``): the runner probes the
+    cache, dedups and stores results against the same frozen cells, so
+    the key is computed once per cell per run.  The memo returns the
+    *same* string object on a hit — tests pin that identity.
+    """
     salt = os.environ.get("REPRO_CACHE_SALT", "")
+    cached = cell.__dict__.get("_key_memo")
+    if cached is not None and cached[0] == salt:
+        return cached[1]  # type: ignore[no-any-return]
     payload = canonical_json(
         {
             "cell": canonicalize(cell.resolved()),
@@ -279,7 +304,9 @@ def cell_key(cell: Cell) -> str:
             "salt": salt,
         }
     )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    key = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    object.__setattr__(cell, "_key_memo", (salt, key))
+    return key
 
 
 def expand_grid(

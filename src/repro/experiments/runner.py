@@ -57,6 +57,11 @@ if TYPE_CHECKING:
 # the pickled backlog on huge sweeps without ever starving the pool.
 _MAX_PENDING_PER_WORKER = 4
 
+# Largest single array-batch handed to the flow batch engine: bounds
+# the (T, B) state arrays of one group (a 60 s call at 1024 cells is a
+# few hundred MB of live state) without limiting sweep size.
+_MAX_BATCH_CELLS = 1024
+
 
 # ---------------------------------------------------------------------------
 # Cell summaries: what the cache stores and experiments consume
@@ -486,6 +491,7 @@ def run_cells(
     progress: bool = False,
     cell_timeout: Optional[float] = None,
     retries: int = 1,
+    mode: str = "scalar",
 ) -> RunReport:
     """Execute ``cells``, fanning out across processes and the cache.
 
@@ -498,9 +504,16 @@ def run_cells(
     on POSIX; no-op where unavailable).  ``retries`` — extra attempts
     for a failed or timed-out cell before it is quarantined: reported
     as a structured error in the run summary, never raised mid-sweep.
+    ``mode`` — ``"scalar"`` runs every cell through the per-process
+    path above; ``"batch"`` first groups compatible flow-fidelity
+    cells (same resolved cell up to seed/label) into array batches for
+    :func:`repro.flow.batch.execute_batch`, byte-identical to scalar
+    execution, and falls back per cell for whatever cannot batch.
 
     Returns a :class:`RunReport` with outcomes in input order.
     """
+    if mode not in ("scalar", "batch"):
+        raise ValueError(f"unknown run_cells mode: {mode!r}")
     start = time.perf_counter()  # lint: ok(R001) real wall time
     jobs = default_jobs() if jobs is None else max(int(jobs), 1)
     store: Optional[ResultCache] = None
@@ -542,7 +555,8 @@ def run_cells(
         for index in positions[key]:
             outcomes[index] = outcome
         if progress:
-            _progress_line(done, len(unique), outcome)
+            elapsed = time.perf_counter() - start  # lint: ok(R001)
+            _progress_line(done, len(unique), outcome, elapsed)
 
     # Cache pass: satisfy what we can without touching a worker.
     pending: List[str] = []
@@ -561,6 +575,11 @@ def run_cells(
             )
         else:
             pending.append(key)
+
+    if mode == "batch" and pending:
+        pending = _run_batched(
+            [(key, unique[key]) for key in pending], store, finish
+        )
 
     if jobs <= 1 or len(pending) <= 1:
         for key in pending:
@@ -586,6 +605,53 @@ def run_cells(
     if progress:
         _stats_line(stats)
     return report
+
+
+def _run_batched(
+    items: Sequence[Tuple[str, Cell]],
+    store: Optional[ResultCache],
+    finish: Callable[[str, "CellOutcome"], None],
+) -> List[str]:
+    """Execute what the array backend can take; return the leftovers.
+
+    Compatible flow cells are grouped by structural identity and
+    stepped together in :func:`repro.flow.batch.execute_batch` (large
+    groups are chunked so one group's ``(T, B)`` state stays bounded).
+    Results are byte-identical to the scalar path:
+    :func:`~repro.flow.batch.execute_batch` returns payloads already
+    in canonical-JSON normal form (its contract, pinned by
+    tests/test_flow_batch.py), so no re-normalization pass is needed
+    here and cache entries and outcomes are indistinguishable from
+    per-process execution.  Cells the planner rejects, plus any group
+    that fails outright, are returned as keys for the scalar path to
+    pick up.
+    """
+    from repro.flow.batch import execute_batch, plan_batches
+
+    cells = [cell for _key, cell in items]
+    groups, rest = plan_batches(cells)
+    leftover = [items[i][0] for i in rest]
+    for group in groups:
+        for lo in range(0, len(group), _MAX_BATCH_CELLS):
+            chunk = group[lo:lo + _MAX_BATCH_CELLS]
+            chunk_start = time.perf_counter()  # lint: ok(R001)
+            try:
+                payloads = execute_batch([cells[i] for i in chunk])
+            except Exception:  # noqa: BLE001 — scalar path retries
+                leftover.extend(items[i][0] for i in chunk)
+                continue
+            wall = (
+                time.perf_counter() - chunk_start  # lint: ok(R001)
+            ) / len(chunk)
+            for i, payload in zip(chunk, payloads):
+                key, cell = items[i]
+                verdict = {
+                    "ok": True,
+                    "summary": payload,
+                    "wall_seconds": wall,
+                }
+                finish(key, _outcome_from_verdict(cell, key, verdict, store))
+    return leftover
 
 
 def _run_one(
@@ -725,16 +791,34 @@ def _run_pool(
 # Progress output
 
 
-def _progress_line(done: int, total: int, outcome: CellOutcome) -> None:
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def _progress_line(
+    done: int, total: int, outcome: CellOutcome, elapsed: float
+) -> None:
     cell = outcome.cell
     if outcome.ok:
         status = "cached" if outcome.cached else f"{outcome.wall_seconds:.1f}s"
     else:
         error = outcome.error or {}
         status = f"ERROR {error.get('type', '?')}: {error.get('message', '')}"
+    # Fleet-scale observability: throughput so far and the projected
+    # time to drain the remaining cells at that rate.
+    pace = ""
+    if elapsed > 0.0:
+        rate = done / elapsed
+        pace = f" | {rate:.1f} cells/s"
+        if done < total and rate > 0.0:
+            pace += f", ETA {_format_eta((total - done) / rate)}"
     print(
         f"[{done}/{total}] {cell.effective_label} "
-        f"seed={cell.seed} dur={cell.duration:g}s ... {status}",
+        f"seed={cell.seed} dur={cell.duration:g}s ... {status}{pace}",
         file=sys.stderr,
         flush=True,
     )
@@ -744,11 +828,14 @@ def _stats_line(stats: RunStats) -> None:
     extra = ""
     if stats.retried or stats.timeouts:
         extra = f", {stats.retried} retried, {stats.timeouts} timeouts"
+    rate = ""
+    if stats.wall_seconds > 0.0:
+        rate = f" ({stats.cells_unique / stats.wall_seconds:.1f} cells/s)"
     print(
         f"sweep: {stats.cells_total} cells ({stats.cells_unique} unique), "
         f"{stats.executed} executed, {stats.cache_hits} cached "
         f"({100 * stats.cache_hit_rate:.0f}%), {stats.errors} errors{extra}, "
-        f"{stats.wall_seconds:.1f}s wall on {stats.jobs} jobs "
+        f"{stats.wall_seconds:.1f}s wall on {stats.jobs} jobs{rate} "
         f"({stats.executed_wall_seconds:.1f}s serial-equivalent)",
         file=sys.stderr,
         flush=True,

@@ -1,0 +1,2027 @@
+"""Vectorized batch execution of flow-fidelity cells.
+
+The scalar flow backend (:mod:`repro.flow.session`) made one call two
+orders of magnitude faster than the packet core, which moved the
+bottleneck for Monte Carlo sweeps to the Python interpreter itself:
+every cell replays the same ~1800-step control loop, one step at a
+time, in its own process.  This module steps *B* compatible cells
+simultaneously as one numpy array program — capacity trajectories as
+``(T, B)`` tables, every per-path quantity (queue backlog, loss EWMAs,
+GCC rate state, FEC carry) as struct-of-arrays ``(B,)`` slices, and
+all stochastic frame fates as batched inverse-transform draws.
+
+**Equivalence contract (DESIGN.md §11).**  Batched execution is not an
+approximation: for every cell it accepts, the produced result payload
+is byte-identical to ``canonical_json``-normalized scalar runner
+output for the same cell.  Three mechanisms make that possible:
+
+- *Shared RNG streams.*  ``random.Random(seed)`` and
+  ``numpy.random.RandomState(np.array([lo, hi], np.uint32))`` produce
+  bit-identical ``random()`` sequences (both wrap the same MT19937
+  ``genrand_res53``), so each cell's lane consumes the exact draw
+  sequence of its scalar ``flow-session`` stream.  Cells whose derived
+  seed has a zero high word (probability ``2**-32``) are rejected —
+  the legacy seeder folds those differently.
+- *Scalar transcendentals.*  numpy's ``log``/``exp``/``power`` kernels
+  are not bit-identical to CPython's ``math`` on this floor, so every
+  transcendental goes through a unique-value gather that calls the
+  Python function per distinct input (:func:`_unique_apply`,
+  :func:`_binomial_thresholds`).  Plain ``+ - * /``, comparisons,
+  min/max and
+  ``sqrt`` are IEEE-754-exact in both and stay vectorized.
+- *Replayed operation order.*  Expression shapes (association,
+  division order, strict-``<`` tie behaviour, EWMA forms) replicate
+  the inlined single-stream loop of :class:`repro.flow.session
+  .FlowCall` term for term; the cross-validation suite
+  (``tests/test_flow_batch.py``) pins the two backends together on
+  every golden scenario.
+
+Cells that the batch cannot take exactly — packet fidelity, chaos
+plans, multi-stream calls, scheduled loss models, per-path parameter
+mismatches inside a group — fall back to the scalar backend, so
+:func:`execute_cells` is always safe to call with a mixed population.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.config import CallConfig, FecMode, SystemKind
+from repro.experiments.cells import Cell, Fidelity, canonical_json
+from repro.flow.frames import (
+    MAX_RTX_ROUNDS,
+    _BETA_BUMP,
+    _BETA_MAX,
+    _MAX_PROTECTED_LOSS,
+    _MAX_PROTECTION,
+    _MIN_LOSS_FOR_FEC,
+    _ROUND_UP_THRESHOLD,
+)
+from repro.flow.link import FlowLink
+from repro.flow.rate_control import (
+    BACKOFF_FACTOR,
+    BURST_EXPECTED_LOSSES,
+    BURST_LOSS_FLOOR,
+    BURST_OVERUSE_PROBABILITY,
+    DELIVERED_WINDOW,
+    GROWTH_PER_SECOND,
+    HOLD_SECONDS,
+    LOSS_CUT_THRESHOLD,
+    LOSS_PROBE_THRESHOLD,
+    LOSS_REPORT_INTERVAL,
+    NEAR_CONVERGENCE_WINDOW,
+    OVERUSE_QUEUE_DELAY,
+    PROBE_JITTER_SPAN,
+    PROBE_RUN_BITS,
+    RTT_SMOOTHING,
+    _MTU_BITS,
+)
+from repro.flow.session import (
+    _BETA_DECAY,
+    _BURST_KILL_FACTOR,
+    _BURST_KILL_MAX,
+    _CM_FAILURE_TIMEOUT,
+    _CM_RECONNECT_DELAY,
+    _FRAME_PROBE_MIN_PACKETS,
+    _FRAME_PROBE_MIN_RATE,
+    _KEYFRAME_DEBT_REPAY,
+    _KEYFRAME_RECOVERY_DELAY,
+    _KEYFRAME_REQUEST_INTERVAL,
+    _LOSS_PEAK_TAU,
+    _LOSS_SMOOTHING,
+    _MIN_FRAME_BYTES,
+    _PROBE_INTERVAL,
+    _PROBE_MAX_LOSS,
+    _PROBE_MAX_QUEUE_DELAY,
+    _PROTECTION_SMOOTHING,
+    DEFAULT_MTU_PAYLOAD,
+)
+from repro.metrics.qoe import FREEZE_THRESHOLD, REPEATED_FRAME_PSNR
+from repro.simulation.random import derive_seed
+
+F8 = NDArray[np.float64]
+I8 = NDArray[np.int64]
+B1 = NDArray[np.bool_]
+
+# Prefilled uniform draws per cell between RandomState refills.
+_POOL_CHUNK = 4096
+
+
+# ---------------------------------------------------------------------------
+# Exact scalar-math helpers
+
+
+def _unique_apply(
+    fn: Callable[[float], float], values: F8
+) -> F8:
+    """Apply a CPython scalar function element-wise, bit-exactly.
+
+    numpy's transcendental kernels (SIMD polynomial paths) are not
+    bit-identical to libm-backed ``math.*`` on this floor, so the
+    function is evaluated once per *distinct* input via Python and
+    scattered back.  Loss EWMAs, FEC decay gaps and QP logs repeat
+    heavily across lanes, which keeps the Python call count low.
+    """
+    uniq, inverse = np.unique(values, return_inverse=True)
+    out = np.empty(uniq.shape[0], dtype=np.float64)
+    for j, v in enumerate(uniq.tolist()):
+        out[j] = fn(v)
+    return out[inverse]
+
+
+def _unique_apply_memo(
+    fn: Callable[[float], float], values: F8, memo: Dict[float, float]
+) -> F8:
+    """:func:`_unique_apply` with a cross-call result cache.
+
+    Worth it when the same distinct inputs recur across steps (FEC
+    decay gaps land on a handful of step-grid differences), keeping
+    the Python-level ``fn`` calls to a few per run.  The common
+    all-equal case (every active cell updated last step) skips the
+    ``np.unique`` sort entirely.
+    """
+    lo = float(values.min())
+    if lo == float(values.max()):
+        r = memo.get(lo)
+        if r is None:
+            r = fn(lo)
+            memo[lo] = r
+        return np.full(values.shape[0], r)
+    uniq, inverse = np.unique(values, return_inverse=True)
+    out = np.empty(uniq.shape[0], dtype=np.float64)
+    for j, v in enumerate(uniq.tolist()):
+        r = memo.get(v)
+        if r is None:
+            r = fn(v)
+            memo[v] = r
+        out[j] = r
+    return out[inverse]
+
+
+def _binomial_thresholds(p: float, n: int) -> F8:
+    """Cumulative stop thresholds of the scalar binomial PMF walk.
+
+    Entry ``k`` is the running ``cumulative`` of
+    :func:`repro.flow.frames.binomial_draw` after the ``k``-th update,
+    built with the identical Python-float recurrence (``q ** n``
+    differs from ``np.power`` in the last bit often enough to break
+    byte-equality, so no numpy arithmetic here).
+    """
+    q = 1.0 - p
+    ratio = p / q
+    prob = q**n
+    cums = np.empty(n + 1, dtype=np.float64)
+    cumulative = prob
+    cums[0] = cumulative
+    for k in range(1, n + 1):
+        prob *= ratio * (n - k + 1) / k
+        cumulative += prob
+        cums[k] = cumulative
+    return cums
+
+
+class _DrawPool:
+    """Per-cell MT19937 uniform streams, consumed in lockstep lanes.
+
+    Row *i* replays cell *i*'s scalar ``flow-session`` stream: the
+    pool prefills :data:`_POOL_CHUNK` doubles per cell and every
+    :meth:`draw` hands each selected lane its next value, so draw
+    *sites* can be processed in any batched grouping as long as each
+    cell's local draw order is preserved.
+    """
+
+    __slots__ = ("_states", "_pool", "_cursor", "_all", "_peak")
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        count = len(seeds)
+        self._states: List[np.random.RandomState] = []
+        self._pool = np.empty((count, _POOL_CHUNK), dtype=np.float64)
+        self._cursor = np.zeros(count, dtype=np.int64)
+        self._all = np.arange(count, dtype=np.int64)
+        # Conservative upper bound on every cursor: bumped once per
+        # draw, so the exhaustion scan runs once per chunk, not per
+        # call.
+        self._peak = 0
+        for i, seed in enumerate(seeds):
+            key = np.array(
+                [seed & 0xFFFFFFFF, (seed >> 32) & 0xFFFFFFFF],
+                dtype=np.uint32,
+            )
+            state = np.random.RandomState(key)
+            self._states.append(state)
+            self._pool[i] = state.random_sample(_POOL_CHUNK)
+
+    def draw(self, cell_indices: I8) -> F8:
+        """Next uniform double for each listed cell (indices unique)."""
+        cursor = self._cursor
+        if self._peak >= _POOL_CHUNK:
+            exhausted = np.flatnonzero(cursor >= _POOL_CHUNK)
+            for i in exhausted.tolist():
+                self._pool[i] = self._states[i].random_sample(_POOL_CHUNK)
+                cursor[i] = 0
+            self._peak = int(cursor.max())
+        values = self._pool[cell_indices, cursor[cell_indices]]
+        cursor[cell_indices] += 1
+        self._peak += 1
+        return values
+
+    def draw_all(self) -> F8:
+        """Next uniform double for every cell."""
+        return self.draw(self._all)
+
+
+def _binomial_walk(n: I8, p: F8, u: F8, memo: Dict[Any, Any]) -> I8:
+    """Batched inverse-transform Binomial(n, p) with ``0 < p < 1``.
+
+    The scalar walk stops at the first cumulative PMF value at or
+    above the lane's quantile, so with the thresholds tabulated the
+    draw collapses to ``searchsorted`` (``side='left'`` is exactly
+    the walk's ``cumulative < u`` test; the cap at ``n`` is the
+    walk's ``k < n`` bound).  The ``(p, n)`` pairs are packed into
+    complex128 so one ``np.unique`` groups both coordinates at once.
+    Mixed groups are resolved by a *single* merged ``searchsorted``:
+    group ``j``'s thresholds (all in ``[0, 1]``) are biased by
+    ``2 j`` and concatenated, and each quantile is biased by its own
+    group, so every query lands inside its group's segment.  Both the
+    per-pair tables (complex keys) and the merged segment arrays
+    (bytes keys, per distinct group set) are memoized across steps
+    and batches.
+    """
+    size = n.shape[0]
+    packed = np.empty(size, dtype=np.complex128)
+    packed.real = p
+    packed.imag = n
+    uniq, inverse = np.unique(packed, return_inverse=True)
+    if uniq.shape[0] == 1:
+        pair = complex(uniq[0])
+        cums = memo.get(pair)
+        if cums is None:
+            cums = _binomial_thresholds(pair.real, int(pair.imag))
+            memo[pair] = cums
+        k: I8 = np.empty(size, dtype=np.int64)
+        np.minimum(
+            np.searchsorted(cums, u, side="left"), cums.shape[0] - 1, out=k
+        )
+        return k
+    tables = []
+    count = uniq.shape[0]
+    lens = np.empty(count, dtype=np.int64)
+    for j, pair in enumerate(uniq.tolist()):
+        cums = memo.get(pair)
+        if cums is None:
+            cums = _binomial_thresholds(pair.real, int(pair.imag))
+            memo[pair] = cums
+        tables.append(cums)
+        lens[j] = cums.shape[0]
+    starts = np.zeros(count, dtype=np.int64)
+    np.cumsum(lens[:-1], out=starts[1:])
+    combined = np.concatenate(tables)
+    combined += np.repeat(np.arange(count, dtype=np.float64) * 2.0, lens)
+    pos = np.searchsorted(combined, u + 2.0 * inverse, side="left")
+    k = pos - starts[inverse]
+    np.minimum(k, (lens - 1)[inverse], out=k)
+    return k
+
+
+def _vector_step_caps(link: FlowLink, query: F8) -> F8:
+    """:meth:`FlowLink.precompute`, vectorized over the step grid.
+
+    ``query`` holds the step times (``np.arange(steps) * dt``, shared
+    across the batch).  Pure selection: ``searchsorted`` replays the
+    trace's ``bisect_right`` segment lookup and the gathered values
+    are the trace's own floats, so the result is byte-identical to
+    the scalar tabulation, outage gate included.
+    """
+    trace = link._trace
+    times = np.asarray(trace._times, dtype=np.float64)
+    values = np.asarray(trace._values, dtype=np.float64)
+    if trace.loop and trace.duration > 0:
+        query = np.mod(query, trace.duration)
+    index = np.searchsorted(times, query, side="right") - 1
+    index[index < 0] = 0
+    caps: F8 = values[index]
+    return np.where(caps < link._outage_bps, 0.0, caps)
+
+
+# ---------------------------------------------------------------------------
+# Batch planning
+
+
+def batchable(cell: Cell) -> bool:
+    """Can this cell run on the array backend at all?
+
+    Static screen only — path-level checks (scheduled loss, per-path
+    parameter drift inside a group) happen after the paths are built
+    and fall back per cell.  The zero-high-word seed check guards the
+    one case where ``RandomState``'s legacy key folding diverges from
+    ``random.Random``.
+    """
+    if cell.fidelity is not Fidelity.FLOW:
+        return False
+    if cell.chaos is not None:
+        return False
+    if cell.num_streams != 1:
+        return False
+    return (derive_seed(cell.seed, "flow-session") >> 32) != 0
+
+
+def group_key(cell: Cell) -> str:
+    """Structural identity: the resolved cell minus seed and label."""
+    # ``resolved()`` is memoized per Cell instance; copy before masking
+    # the per-cell fields so the memo stays intact.
+    resolved = dict(cell.resolved())
+    resolved["seed"] = 0
+    resolved["label"] = None
+    return canonical_json(resolved)
+
+
+def plan_batches(
+    cells: Sequence[Cell],
+) -> Tuple[List[List[int]], List[int]]:
+    """Partition cell indices into batchable groups and a scalar rest.
+
+    Groups preserve first-seen order; indices inside a group keep input
+    order, so batched execution remains deterministic run to run.
+    """
+    groups: Dict[str, List[int]] = {}
+    order: List[str] = []
+    rest: List[int] = []
+    for index, cell in enumerate(cells):
+        if not batchable(cell):
+            rest.append(index)
+            continue
+        key = group_key(cell)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [index]
+            order.append(key)
+        else:
+            bucket.append(index)
+    return [groups[key] for key in order], rest
+
+
+def _scalar_payload(cell: Cell) -> Dict[str, Any]:
+    """Scalar-backend execution normalized exactly like the runner."""
+    from repro.experiments.runner import execute_cell
+
+    return json.loads(canonical_json(execute_cell(cell)))  # type: ignore[no-any-return]
+
+
+def execute_cells(cells: Sequence[Cell]) -> List[Dict[str, Any]]:
+    """Execute a mixed population, batching whatever groups allow."""
+    payloads: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    groups, rest = plan_batches(cells)
+    for group in groups:
+        results = execute_batch([cells[i] for i in group])
+        for i, payload in zip(group, results):
+            payloads[i] = payload
+    for i in rest:
+        payloads[i] = _scalar_payload(cells[i])
+    return [payload for payload in payloads if payload is not None]
+
+
+# ---------------------------------------------------------------------------
+# Per-path constant bundles
+
+
+class _PathConsts:
+    """Loss/queue/delay parameters of one path, shared by the group."""
+
+    __slots__ = (
+        "path_id",
+        "base_loss",
+        "burst_loss",
+        "burst_packets",
+        "log_stay_good",
+        "prop",
+        "prop2",
+        "queue_cap",
+        "srtt0",
+        "pburst_table",
+    )
+
+    def __init__(self, link: FlowLink) -> None:
+        self.path_id = link.path_id
+        self.base_loss = link._base_loss
+        self.burst_loss = link._burst_loss
+        self.burst_packets = link._burst_packets
+        self.log_stay_good = link._log_stay_good
+        self.prop = link.propagation_delay
+        self.prop2 = 2.0 * (link.propagation_delay + 0.0)
+        self.queue_cap = float(link._queue_capacity)
+        self.srtt0 = max(2.0 * link.propagation_delay, 1e-3)
+        # P(burst entry | n packets), filled lazily per distinct n.
+        self.pburst_table = np.empty(0, dtype=np.float64)
+
+    def signature(self) -> Tuple[Any, ...]:
+        return (
+            self.path_id,
+            self.base_loss,
+            self.burst_loss,
+            self.burst_packets,
+            self.log_stay_good,
+            self.prop,
+            self.queue_cap,
+        )
+
+    def pburst(self, n_pkts: I8) -> F8:
+        table = self.pburst_table
+        top = int(n_pkts.max())
+        if top >= table.shape[0]:
+            values = table.tolist()
+            for n in range(len(values), top + 1):
+                values.append(-math.expm1(self.log_stay_good * n))
+            table = np.array(values, dtype=np.float64)
+            self.pburst_table = table
+        return table[n_pkts]
+
+
+class _PathLanes:
+    """Struct-of-arrays state for one path across all B cells."""
+
+    __slots__ = (
+        "caps",
+        "backlog",
+        "loss_ewma",
+        "loss_peak",
+        "silence",
+        "degraded",
+        "disabled",
+        "cap",
+        "tgt",
+        "weight",
+        "member",
+        "rank",
+        "step_bytes",
+        "step_packets",
+        "step_key",
+        "out_delivered",
+        "out_completion",
+        "out_killed",
+        "out_failed",
+        "rate",
+        "loss_rate",
+        "srtt",
+        "offered_avg",
+        "delivered",
+        "hold_until",
+        "cap_est",
+        "has_est",
+        "loss_accum",
+        "beta",
+        "carry",
+        "last_update",
+        "rec_media_packets",
+        "rec_media_bytes",
+        "rec_fec_packets",
+        "rec_fec_bytes",
+        "rec_rtx_packets",
+        "rec_rtx_bytes",
+        "tgt_samples",
+    )
+
+    def __init__(
+        self, batch_size: int, steps: int, samples: int, consts: _PathConsts,
+        initial_rate: float,
+    ) -> None:
+        shape = (batch_size,)
+        self.caps = np.empty((steps, batch_size), dtype=np.float64)
+        self.backlog = np.zeros(shape, dtype=np.float64)
+        self.loss_ewma = np.zeros(shape, dtype=np.float64)
+        self.loss_peak = np.zeros(shape, dtype=np.float64)
+        self.silence = np.zeros(shape, dtype=np.float64)
+        self.degraded = np.zeros(shape, dtype=np.bool_)
+        self.disabled = np.zeros(shape, dtype=np.bool_)
+        self.cap = np.zeros(shape, dtype=np.float64)
+        self.tgt = np.zeros(shape, dtype=np.float64)
+        self.weight = np.zeros(shape, dtype=np.float64)
+        self.member = np.zeros(shape, dtype=np.bool_)
+        self.rank = np.zeros(shape, dtype=np.int64)
+        self.step_bytes = np.zeros(shape, dtype=np.int64)
+        self.step_packets = np.zeros(shape, dtype=np.int64)
+        self.step_key = np.zeros(shape, dtype=np.bool_)
+        self.out_delivered = np.zeros(shape, dtype=np.bool_)
+        self.out_completion = np.zeros(shape, dtype=np.float64)
+        self.out_killed = np.zeros(shape, dtype=np.bool_)
+        self.out_failed = np.zeros(shape, dtype=np.bool_)
+        self.rate = np.full(shape, initial_rate, dtype=np.float64)
+        self.loss_rate = np.full(shape, initial_rate, dtype=np.float64)
+        self.srtt = np.full(shape, consts.srtt0, dtype=np.float64)
+        self.offered_avg = np.zeros(shape, dtype=np.float64)
+        self.delivered = np.zeros(shape, dtype=np.float64)
+        self.hold_until = np.zeros(shape, dtype=np.float64)
+        self.cap_est = np.zeros(shape, dtype=np.float64)
+        self.has_est = np.zeros(shape, dtype=np.bool_)
+        self.loss_accum = np.zeros(shape, dtype=np.float64)
+        self.beta = np.ones(shape, dtype=np.float64)
+        self.carry = np.zeros(shape, dtype=np.float64)
+        self.last_update = np.zeros(shape, dtype=np.float64)
+        self.rec_media_packets = np.zeros(shape, dtype=np.int64)
+        self.rec_media_bytes = np.zeros(shape, dtype=np.int64)
+        self.rec_fec_packets = np.zeros(shape, dtype=np.int64)
+        self.rec_fec_bytes = np.zeros(shape, dtype=np.int64)
+        self.rec_rtx_packets = np.zeros(shape, dtype=np.int64)
+        self.rec_rtx_bytes = np.zeros(shape, dtype=np.int64)
+        self.tgt_samples = np.empty((samples, batch_size), dtype=np.float64)
+
+
+class _BatchFlowRun:
+    """One array program over B structurally identical flow cells."""
+
+    __slots__ = (
+        "config",
+        "cells",
+        "batch_size",
+        "steps",
+        "dt",
+        "consts",
+        "lanes",
+        "pool",
+        "walk_memo",
+        "exp_memo",
+        "nows",
+        "sample_steps",
+        "sample_every",
+        "enc_count",
+        "frames_since_key",
+        "debt",
+        "blocked",
+        "pending",
+        "request_at",
+        "last_request",
+        "protection",
+        "received_total",
+        "fec_received_total",
+        "fec_recovered_total",
+        "pinned",
+        "cm_reconnect_until",
+        "send_n",
+        "total_weight",
+        "target_rate",
+        "size0",
+        "key0",
+        "qp0",
+        "step_media",
+        "step_fec",
+        "enc_flag",
+        "rendered_size",
+        "rendered_key",
+        "rendered_qp",
+        "rendered_completion",
+        "tr_samples",
+        "drops",
+        "kf_requests",
+        "path_events",
+    )
+
+    def __init__(
+        self,
+        config: CallConfig,
+        cells: Sequence[Cell],
+        links_per_cell: Sequence[Sequence[FlowLink]],
+    ) -> None:
+        self.config = config
+        self.cells = list(cells)
+        batch = len(cells)
+        self.batch_size = batch
+        self.dt = 1.0 / config.frame_rate
+        self.steps = int(round(config.duration * config.frame_rate))
+        steps = self.steps
+        self.sample_every = max(
+            int(round(config.sample_interval / self.dt)), 1
+        )
+        self.nows = [step * self.dt for step in range(steps)]
+        self.sample_steps = list(range(0, steps, self.sample_every))
+        samples = len(self.sample_steps)
+        self.consts = [_PathConsts(links[0]) for links in zip(*links_per_cell)]
+        initial_rate = float(config.gcc.initial_rate)
+        self.lanes = [
+            _PathLanes(batch, steps, samples, consts, initial_rate)
+            for consts in self.consts
+        ]
+        query = np.arange(steps, dtype=np.float64) * self.dt
+        for i, links in enumerate(links_per_cell):
+            for p, link in enumerate(links):
+                self.lanes[p].caps[:, i] = _vector_step_caps(link, query)
+        self.pool = _DrawPool(
+            [derive_seed(cell.seed, "flow-session") for cell in cells]
+        )
+        self.walk_memo: Dict[Any, Any] = {}
+        self.exp_memo: Dict[float, float] = {}
+        shape = (batch,)
+        self.enc_count = np.zeros(shape, dtype=np.int64)
+        self.frames_since_key = np.zeros(shape, dtype=np.int64)
+        self.debt = np.zeros(shape, dtype=np.float64)
+        self.blocked = np.zeros(shape, dtype=np.bool_)
+        self.pending = np.zeros(shape, dtype=np.bool_)
+        self.request_at = np.full(shape, math.inf, dtype=np.float64)
+        self.last_request = np.full(shape, -math.inf, dtype=np.float64)
+        self.protection = np.zeros(shape, dtype=np.float64)
+        self.received_total = np.zeros(shape, dtype=np.int64)
+        self.fec_received_total = np.zeros(shape, dtype=np.int64)
+        self.fec_recovered_total = np.zeros(shape, dtype=np.int64)
+        pids = [consts.path_id for consts in self.consts]
+        pinned = config.single_path_id
+        if pinned not in pids:
+            pinned = min(pids)
+        self.pinned = np.full(shape, pinned, dtype=np.int64)
+        self.cm_reconnect_until = np.full(shape, -math.inf, dtype=np.float64)
+        self.send_n = np.zeros(shape, dtype=np.int64)
+        self.total_weight = np.zeros(shape, dtype=np.float64)
+        self.target_rate = np.zeros(shape, dtype=np.float64)
+        self.size0 = np.zeros(shape, dtype=np.int64)
+        self.key0 = np.zeros(shape, dtype=np.bool_)
+        self.qp0 = np.zeros(shape, dtype=np.float64)
+        self.step_media = np.zeros(shape, dtype=np.int64)
+        self.step_fec = np.zeros(shape, dtype=np.int64)
+        self.enc_flag = np.zeros((steps, batch), dtype=np.bool_)
+        self.rendered_size = np.zeros((steps, batch), dtype=np.int64)
+        self.rendered_key = np.zeros((steps, batch), dtype=np.bool_)
+        self.rendered_qp = np.zeros((steps, batch), dtype=np.float64)
+        self.rendered_completion = np.zeros((steps, batch), dtype=np.float64)
+        self.tr_samples = np.empty((samples, batch), dtype=np.float64)
+        # Dropped frames are only ever *counted* in the payload, so a
+        # counter per cell replaces the scalar's per-drop event list.
+        self.drops = np.zeros(batch, dtype=np.int64)
+        self.kf_requests: List[List[List[float]]] = [[] for _ in range(batch)]
+        self.path_events: List[List[Tuple[float, int, str]]] = [
+            [] for _ in range(batch)
+        ]
+
+    # -- the hot loop ------------------------------------------------------
+
+    def run(self) -> List[Dict[str, Any]]:
+        config = self.config
+        lanes = self.lanes
+        consts = self.consts
+        pool = self.pool
+        walk_memo = self.walk_memo
+        exp_memo = self.exp_memo
+        num_paths = len(lanes)
+        dt = self.dt
+        mtu = DEFAULT_MTU_PAYLOAD
+        enc = config.encoder_template
+        rd_model = enc.rd_model
+        rd_anchor = rd_model.anchor_bitrate
+        enc_min = enc.min_bitrate
+        enc_cap = min(enc.max_bitrate, config.max_rate_per_stream)
+        gop_length = enc.gop_length
+        key_mult = enc.keyframe_size_multiplier
+        size_jitter = enc.size_jitter
+        jit_lo = -size_jitter
+        jit_span = size_jitter - jit_lo
+        frame_rate = config.frame_rate
+        encoder_utilization = config.encoder_utilization
+        num_streams = config.num_streams
+        max_latency = config.receiver.max_playout_latency
+        watchdog = config.watchdog
+        degrade_timeout = watchdog.degrade_timeout
+        silence_timeout = watchdog.silence_timeout
+        decay_scaled = watchdog.rate_decay_factor ** (
+            dt / watchdog.rate_decay_interval
+        )
+        qoe_feedback = config.qoe_feedback_enabled
+        peak_decay = math.exp(-dt / _LOSS_PEAK_TAU)
+        win_alpha = 1.0 - math.exp(-dt / DELIVERED_WINDOW)
+        fec_mode = config.fec_mode
+        fec_none = fec_mode is FecMode.NONE
+        fec_webrtc = fec_mode is FecMode.WEBRTC_TABLE
+        fec_converge = fec_mode is FecMode.CONVERGE
+        system = config.system
+        is_converge = system is SystemKind.CONVERGE
+        is_webrtc = system is SystemKind.WEBRTC
+        is_srtt = system is SystemKind.SRTT
+        is_cm = system is SystemKind.WEBRTC_CM
+        is_mrtp = system is SystemKind.MRTP
+        probe_run_bits_f = float(PROBE_RUN_BITS)
+        growth_dt = GROWTH_PER_SECOND**dt
+        near_lo = 1.0 - NEAR_CONVERGENCE_WINDOW
+        near_hi = 1.0 + NEAR_CONVERGENCE_WINDOW
+        half_mtu_bits = 0.5 * _MTU_BITS
+        gcc_min = float(config.gcc.min_rate)
+        gcc_max = float(config.gcc.max_rate)
+        pids = [c.path_id for c in consts]
+        pin_col = pids.index(int(self.pinned[0])) if is_webrtc else 0
+        next_probe = _PROBE_INTERVAL
+        sample_tick = 0
+        sample_row = 0
+        batch = self.batch_size
+        inf = math.inf
+        ones = np.ones(batch, dtype=np.float64)
+        true_col = np.ones(batch, dtype=np.bool_)
+        _loss_unit_cut = 1.0  # outage loss level
+
+        for step in range(self.steps):
+            now = self.nows[step]
+
+            # -- capacity + watchdog + per-path target, in pid order --
+            flagged = False
+            for p, lane in enumerate(lanes):
+                cap = lane.caps[step]
+                lane.cap = cap
+                attention = (
+                    (lane.silence != 0.0) | (cap <= 0.0)
+                )
+                if attention.any():
+                    self._watchdog(
+                        now, p, lane, cap, attention, degrade_timeout,
+                        silence_timeout, decay_scaled, gcc_min,
+                    )
+                # SteadyStateGcc.target: min(rate, loss_rate), floored.
+                tgt = np.minimum(lane.rate, lane.loss_rate)
+                lane.tgt = np.maximum(tgt, gcc_min)
+                if lane.disabled.any():
+                    flagged = True
+
+            if flagged:
+                none_usable = true_col.copy()
+                for lane in lanes:
+                    none_usable &= lane.disabled
+                usable = [
+                    ~lane.disabled | none_usable for lane in lanes
+                ]
+            else:
+                usable = [true_col for _ in lanes]
+
+            # -- scheduler split ------------------------------------------
+            total_weight = np.zeros(batch, dtype=np.float64)
+            target_rate = np.zeros(batch, dtype=np.float64)
+            for lane in lanes:
+                lane.member.fill(False)
+            if is_webrtc:
+                # Structural pin: churn-free calls never move it.
+                lane = lanes[pin_col]
+                lane.member[:] = True
+                lane.weight[:] = 1.0
+                total_weight += ones
+                target_rate += lane.tgt
+            elif is_srtt:
+                best_col = np.zeros(batch, dtype=np.int64)
+                best_srtt = np.full(batch, inf, dtype=np.float64)
+                seeded = np.zeros(batch, dtype=np.bool_)
+                for p, lane in enumerate(lanes):
+                    u = usable[p]
+                    first = u & ~seeded
+                    better = u & seeded & (lane.srtt < best_srtt)
+                    pick = first | better
+                    best_col = np.where(pick, p, best_col)
+                    best_srtt = np.where(pick, lane.srtt, best_srtt)
+                    seeded |= u
+                for p, lane in enumerate(lanes):
+                    m = best_col == p
+                    lane.member |= m
+                    lane.weight[m] = 1.0
+                    total_weight += np.where(m, 1.0, 0.0)
+                    target_rate += np.where(m, lane.tgt, 0.0)
+            elif is_cm:
+                self._cm_schedule(now, usable, pids)
+                for p, lane in enumerate(lanes):
+                    m = lane.member
+                    lane.weight[m] = 1.0
+                    total_weight += np.where(m, 1.0, 0.0)
+                    target_rate += np.where(m, lane.tgt, 0.0)
+            elif is_mrtp:
+                for lane in lanes:
+                    le = lane.loss_ewma
+                    w = 1.0 - np.where(le < 0.95, le, 0.95)
+                    lane.weight = w
+                    lane.member[:] = True
+                    total_weight += w
+                    target_rate += lane.tgt
+            else:
+                # CONVERGE / MTPUT: Eq. 1 — split by per-path rates.
+                zero_weight = np.zeros(batch, dtype=np.bool_)
+                for p, lane in enumerate(lanes):
+                    m = usable[p]
+                    lane.member = m.copy() if m is true_col else m
+                    w = lane.tgt
+                    lane.weight = w
+                    total_weight += np.where(m, w, 0.0)
+                    target_rate += np.where(m, w, 0.0)
+                    zero_weight |= m & (w <= 0.0)
+                if zero_weight.any():
+                    # Rare zero-floor config: drop zero-weight paths
+                    # from the send set; total_weight stays as-is.
+                    target_rate = np.where(
+                        zero_weight, 0.0, target_rate
+                    )
+                    for lane in lanes:
+                        drop = zero_weight & lane.member & (lane.weight <= 0.0)
+                        lane.member &= ~drop
+                        target_rate += np.where(
+                            zero_weight & lane.member, lane.tgt, 0.0
+                        )
+
+            send_n = np.zeros(batch, dtype=np.int64)
+            for lane in lanes:
+                lane.rank = send_n.copy()
+                send_n += lane.member
+                m = lane.member
+                lane.step_bytes.fill(0)
+                lane.step_packets.fill(0)
+                lane.step_key.fill(False)
+                lane.out_failed[m] = False
+
+            # -- sampling --------------------------------------------------
+            if sample_tick == 0:
+                self.tr_samples[sample_row] = target_rate
+                for lane in lanes:
+                    lane.tgt_samples[sample_row] = lane.tgt
+                sample_row += 1
+            sample_tick += 1
+            if sample_tick == self.sample_every:
+                sample_tick = 0
+
+            # -- keyframe requests ----------------------------------------
+            due = self.blocked & (now >= self.request_at)
+            if due.any():
+                fire = due & ((now - self.last_request) >= _KEYFRAME_REQUEST_INTERVAL)
+                if fire.any():
+                    self.last_request[fire] = now
+                    self.request_at[fire] = inf
+                    self.pending[fire] = True
+                    for i in np.flatnonzero(fire).tolist():
+                        self.kf_requests[i].append([now, 0])
+
+            # -- encode ----------------------------------------------------
+            enc_mask = (send_n > 0) & (total_weight > 0.0)
+            enc_any = bool(enc_mask.any())
+            enc_all = enc_any and bool(enc_mask.all())
+            if enc_any:
+                eidx: Any = (
+                    slice(None) if enc_all else np.flatnonzero(enc_mask)
+                )
+                budget = (
+                    target_rate[eidx]
+                    * encoder_utilization
+                    / (1.0 + self.protection[eidx])
+                )
+                per_stream = budget / num_streams
+                per_stream = np.where(
+                    per_stream < enc_min, enc_min, per_stream
+                )
+                per_stream = np.where(
+                    per_stream > enc_cap, enc_cap, per_stream
+                )
+                # The QP log never feeds back into the dynamics, so
+                # only the RD ratio is recorded here; rendered frames
+                # get their exact ``math.log`` at payload time.
+                self.qp0[eidx] = (
+                    np.where(per_stream > 1.0, per_stream, 1.0) / rd_anchor
+                )
+                fsk = self.frames_since_key[eidx]
+                is_key = (
+                    (self.enc_count[eidx] == 0)
+                    | (fsk >= gop_length)
+                    | self.pending[eidx]
+                )
+                base = per_stream / 8.0 / frame_rate
+                debt = self.debt[eidx]
+                size_key = base * key_mult
+                repay_cap = _KEYFRAME_DEBT_REPAY * base
+                repay = np.where(debt < repay_cap, debt, repay_cap)
+                size_f = np.where(is_key, size_key, base - repay)
+                debt = np.where(is_key, debt + (size_key - base), debt - repay)
+                self.debt[eidx] = debt
+                self.frames_since_key[eidx] = np.where(is_key, 0, fsk + 1)
+                self.pending[eidx] &= ~is_key
+                u = pool.draw_all() if enc_all else pool.draw(eidx)
+                size_f = size_f * (1.0 + (jit_lo + jit_span * u))
+                size = size_f.astype(np.int64)
+                size = np.where(size < _MIN_FRAME_BYTES, _MIN_FRAME_BYTES, size)
+                self.size0[eidx] = size
+                self.key0[eidx] = is_key
+                self.enc_count[eidx] += 1
+                self.enc_flag[step, eidx] = True
+                self._allocate(
+                    enc_mask, send_n, total_weight, mtu, is_converge
+                )
+
+            probe_due = now >= next_probe
+            if probe_due:
+                next_probe += _PROBE_INTERVAL
+
+            # -- per-path send: queue, loss, FEC, control ------------------
+            self.step_media.fill(0)
+            self.step_fec.fill(0)
+            for p, lane in enumerate(lanes):
+                member = lane.member
+                if not member.any():
+                    continue
+                # Full-membership fast path: gathers become views and
+                # scatters become whole-array assigns.  Value semantics
+                # are unchanged — every in-place mutation below either
+                # rebinds or scatters through ``np.where`` before the
+                # write-back.
+                full = bool(member.all())
+                if full:
+                    idx: Any = slice(None)
+                    m = batch
+                else:
+                    idx = np.flatnonzero(member)
+                    m = idx.shape[0]
+                pc = consts[p]
+                mp = lane.step_packets[idx]
+                mb = lane.step_bytes[idx]
+                capv = lane.cap[idx]
+
+                # FlowLink.step_loss, batched.
+                if pc.burst_loss > 0.0:
+                    n_pkts = np.where(mp > 0, mp, 1)
+                    p_burst = pc.pburst(n_pkts)
+                    u = pool.draw_all() if full else pool.draw(idx)
+                    hit = u < p_burst
+                    fraction = pc.burst_packets / n_pkts
+                    fraction = np.where(fraction > 1.0, 1.0, fraction)
+                    frame_loss = np.where(
+                        hit,
+                        pc.base_loss
+                        + (pc.burst_loss - pc.base_loss) * fraction,
+                        pc.base_loss,
+                    )
+                    inst_peak = np.where(hit, pc.burst_loss, pc.base_loss)
+                else:
+                    frame_loss = np.full(m, pc.base_loss)
+                    inst_peak = frame_loss
+                outage = capv <= 0.0
+                if outage.any():
+                    frame_loss = np.where(outage, _loss_unit_cut, frame_loss)
+                    inst_peak = np.where(outage, _loss_unit_cut, inst_peak)
+                le = lane.loss_ewma[idx]
+                le = le + _LOSS_SMOOTHING * (frame_loss - le)
+                lane.loss_ewma[idx] = le
+                decayed = lane.loss_peak[idx] * peak_decay
+                peak_hold = np.where(decayed > frame_loss, decayed, frame_loss)
+                lane.loss_peak[idx] = peak_hold
+
+                # PathFec.packets_for, batched.
+                mpos = mp > 0
+                fec_pk = np.zeros(m, dtype=np.int64)
+                if fec_none:
+                    pass
+                elif fec_webrtc:
+                    pf = np.select(
+                        [
+                            le <= 0.002,
+                            le <= 0.005,
+                            le <= 0.010,
+                            le <= 0.020,
+                            le <= 0.030,
+                            le <= 0.050,
+                            le <= 0.070,
+                            le <= 0.100,
+                            le <= 0.150,
+                        ],
+                        [0.0, 0.30, 0.40, 0.43, 0.45, 0.48, 0.50, 0.55, 0.60],
+                        default=0.65,
+                    )
+                    doubled = pf * 2.0
+                    doubled = np.where(doubled > 1.0, 1.0, doubled)
+                    pf = np.where(lane.step_key[idx], doubled, pf)
+                    exact = pf * mp + lane.carry[idx]
+                    fec_raw = exact.astype(np.int64)
+                    carry = exact - fec_raw
+                    carry = np.where(carry < 0.0, 0.0, carry)
+                    carry = np.where(carry > 1.0, 1.0, carry)
+                    lane.carry[idx] = np.where(
+                        mpos, carry, lane.carry[idx]
+                    )
+                    fec_pk = np.where(
+                        mpos, np.where(fec_raw > mp, mp, fec_raw), 0
+                    )
+                elif fec_converge:
+                    low = peak_hold < _MIN_LOSS_FOR_FEC
+                    zero = mpos & low
+                    if zero.any():
+                        lane.carry[zero if full else idx[zero]] = 0.0
+                    act = mpos & ~low
+                    if act.any():
+                        beta = lane.beta[idx]
+                        elapsed = now - lane.last_update[idx]
+                        decay_m = act & (elapsed > 0.0)
+                        if decay_m.any():
+                            factor = _unique_apply_memo(
+                                math.exp,
+                                -_BETA_DECAY * elapsed[decay_m],
+                                exp_memo,
+                            )
+                            nb = beta[decay_m]
+                            beta[decay_m] = 1.0 + (nb - 1.0) * factor
+                            lane.beta[idx] = beta
+                            lane.last_update[
+                                decay_m if full else idx[decay_m]
+                            ] = now
+                        prot = np.where(
+                            peak_hold > _MAX_PROTECTED_LOSS,
+                            _MAX_PROTECTED_LOSS,
+                            peak_hold,
+                        )
+                        prot = prot * beta
+                        prot = np.where(
+                            prot > _MAX_PROTECTION, _MAX_PROTECTION, prot
+                        )
+                        exact = prot * mp + lane.carry[idx]
+                        fec_raw = exact.astype(np.int64)
+                        fec_raw = np.where(
+                            (fec_raw == 0) & (exact >= _ROUND_UP_THRESHOLD),
+                            1,
+                            fec_raw,
+                        )
+                        carry = exact - fec_raw
+                        carry = np.where(carry < 0.0, 0.0, carry)
+                        carry = np.where(carry > 1.0, 1.0, carry)
+                        lane.carry[idx] = np.where(
+                            act, carry, lane.carry[idx]
+                        )
+                        fec_pk = np.where(
+                            act, np.where(fec_raw > mp, mp, fec_raw), fec_pk
+                        )
+                fec_bytes = fec_pk * mtu
+
+                # FlowLink.push, batched.
+                backlog = lane.backlog[idx] - capv * dt / 8.0
+                backlog = np.where(backlog < 0.0, 0.0, backlog)
+                backlog = backlog + (mb + fec_bytes)
+                overflow = backlog - pc.queue_cap
+                spill = overflow > 0.0
+                backlog = np.where(spill, pc.queue_cap, backlog)
+                overflow = np.where(spill, overflow, 0.0)
+                lane.backlog[idx] = backlog
+                qd_open = backlog * 8.0 / capv
+                queue_delay = np.where(
+                    outage,
+                    np.where(backlog > 0.0, inf, 0.0),
+                    qd_open,
+                )
+                overflow_packets = (overflow // mtu).astype(np.int64)
+
+                # path_frame_outcome, batched.
+                lost = np.zeros(m, dtype=np.int64)
+                drawable = mpos & (frame_loss > 0.0) & (frame_loss < 1.0)
+                if drawable.any():
+                    sub = np.flatnonzero(drawable)
+                    u = pool.draw(sub if full else idx[sub])
+                    lost[sub] = _binomial_walk(
+                        mp[sub], frame_loss[sub], u, walk_memo
+                    )
+                lost = np.where(mpos & (frame_loss >= 1.0), mp, lost)
+                lost = lost + overflow_packets
+                lost = np.where(lost > mp, mp, lost)
+                fec_received = fec_pk.copy()
+                fdraw = (fec_pk > 0) & (frame_loss > 0.0) & (frame_loss < 1.0)
+                if fdraw.any():
+                    sub = np.flatnonzero(fdraw)
+                    u = pool.draw(sub if full else idx[sub])
+                    fec_received[sub] = fec_pk[sub] - _binomial_walk(
+                        fec_pk[sub], frame_loss[sub], u, walk_memo
+                    )
+                fec_received = np.where(
+                    (fec_pk > 0) & (frame_loss >= 1.0), 0, fec_received
+                )
+                no_loss = lost == 0
+                fec_recovered = np.where(
+                    no_loss,
+                    0,
+                    np.where(lost < fec_received, lost, fec_received),
+                )
+                remaining = lost - fec_recovered
+                rtx_rounds = np.zeros(m, dtype=np.int64)
+                for _ in range(MAX_RTX_ROUNDS):
+                    act = ~no_loss & (remaining > 0)
+                    if not act.any():
+                        break
+                    rtx_rounds = np.where(act, rtx_rounds + 1, rtx_rounds)
+                    rdraw = act & (frame_loss > 0.0) & (frame_loss < 1.0)
+                    walked = remaining
+                    if rdraw.any():
+                        sub = np.flatnonzero(rdraw)
+                        u = pool.draw(sub if full else idx[sub])
+                        walked = remaining.copy()
+                        walked[sub] = _binomial_walk(
+                            remaining[sub], frame_loss[sub], u, walk_memo
+                        )
+                    remaining = np.where(
+                        act & (frame_loss <= 0.0),
+                        0,
+                        np.where(act, walked, remaining),
+                    )
+                delivered = np.where(no_loss, True, remaining == 0)
+                delivered = delivered & ~outage
+
+                # Burst kill draw (run-of-losses restoration).
+                killed = np.zeros(m, dtype=np.bool_)
+                km = ~outage & mpos & (inst_peak >= BURST_LOSS_FLOOR)
+                if km.any():
+                    kill_p = _BURST_KILL_FACTOR * frame_loss
+                    kill_p = np.where(
+                        kill_p > _BURST_KILL_MAX, _BURST_KILL_MAX, kill_p
+                    )
+                    sub = np.flatnonzero(km)
+                    u = pool.draw(sub if full else idx[sub])
+                    kk = u < kill_p[sub]
+                    killed[sub] = kk
+                    delivered = delivered & ~killed
+
+                # Send records.
+                lane.rec_media_packets[idx] += mp
+                lane.rec_media_bytes[idx] += mb
+                lane.rec_fec_packets[idx] += fec_pk
+                lane.rec_fec_bytes[idx] += fec_bytes
+                self.fec_received_total[idx] += fec_received
+                self.fec_recovered_total[idx] += fec_recovered
+                uncovered = lost - fec_recovered
+                up = uncovered > 0
+                if up.any():
+                    lane.rec_rtx_packets[idx] += np.where(up, uncovered, 0)
+                    lane.rec_rtx_bytes[idx] += np.where(
+                        up, uncovered * mtu, 0
+                    )
+                    if qoe_feedback and fec_converge:
+                        bump = up & mpos
+                        if bump.any():
+                            proposed = 1.0 + _BETA_BUMP * uncovered
+                            beta = lane.beta[idx]
+                            raised = bump & (proposed > beta)
+                            capped = np.where(
+                                proposed > _BETA_MAX, _BETA_MAX, proposed
+                            )
+                            lane.beta[idx] = np.where(raised, capped, beta)
+                            lane.last_update[
+                                bump if full else idx[bump]
+                            ] = now
+
+                srtt_sample = pc.prop2 + np.where(
+                    queue_delay < 2.0, queue_delay, 2.0
+                )
+                sent = mb + fec_bytes
+                offered = sent * 8.0 / dt
+                delivered_bytes = np.where(
+                    delivered,
+                    mb,
+                    np.where(mb - uncovered * mtu < 0, 0, mb - uncovered * mtu),
+                )
+                acked = delivered_bytes + fec_bytes
+                delivered_rate = np.where(acked < sent, acked, sent) * 8.0 / dt
+
+                rate_pre = lane.rate[idx]
+                healthy = (
+                    ~outage
+                    & ~lane.degraded[idx]
+                    & (le <= _PROBE_MAX_LOSS)
+                    & (queue_delay <= _PROBE_MAX_QUEUE_DELAY)
+                )
+                if probe_due:
+                    probe_bits = np.where(healthy, probe_run_bits_f, 0.0)
+                else:
+                    frame_probe = (
+                        healthy
+                        & (rate_pre >= _FRAME_PROBE_MIN_RATE)
+                        & (mp + fec_pk >= _FRAME_PROBE_MIN_PACKETS)
+                    )
+                    probe_bits = np.where(
+                        frame_probe, (mp + fec_pk - 1) * mtu * 8.0, 0.0
+                    )
+
+                # SteadyStateGcc.advance + update, batched.
+                srtt = lane.srtt[idx]
+                srtt = srtt + RTT_SMOOTHING * (srtt_sample - srtt)
+                lane.srtt[idx] = srtt
+                oa = lane.offered_avg[idx]
+                oa = np.where(
+                    oa <= 0.0, offered, oa + win_alpha * (offered - oa)
+                )
+                lane.offered_avg[idx] = oa
+                da = lane.delivered[idx]
+                da = np.where(
+                    da <= 0.0,
+                    delivered_rate,
+                    da + win_alpha * (delivered_rate - da),
+                )
+                lane.delivered[idx] = da
+                upd = ~outage
+                if upd.any():
+                    rate = rate_pre.copy()
+                    lr = lane.loss_rate[idx]
+                    hold_pre = lane.hold_until[idx]
+                    burst = inst_peak >= BURST_LOSS_FLOOR
+                    qd_over = queue_delay > OVERUSE_QUEUE_DELAY
+                    misfire = np.zeros(m, dtype=np.bool_)
+                    odraw = upd & ~qd_over & burst
+                    if odraw.any():
+                        sub = np.flatnonzero(odraw)
+                        u = pool.draw(sub if full else idx[sub])
+                        misfire[sub] = u < BURST_OVERUSE_PROBABILITY
+                    overuse = upd & (qd_over | misfire)
+                    grow = upd & ~overuse & (now >= hold_pre)
+                    if overuse.any():
+                        cut_base = np.where(da > 0.0, da, rate)
+                        cut = BACKOFF_FACTOR * cut_base
+                        rate = np.where(overuse & (cut < rate), cut, rate)
+                        # The estimate reads the *post-cut* rate when
+                        # nothing has been delivered yet.
+                        lane.cap_est[idx] = np.where(
+                            overuse,
+                            np.where(da > 0.0, da, rate),
+                            lane.cap_est[idx],
+                        )
+                        lane.has_est[idx] |= overuse
+                        lane.hold_until[idx] = np.where(
+                            overuse, now + HOLD_SECONDS, hold_pre
+                        )
+                    if grow.any():
+                        saturated = oa >= 0.7 * rate
+                        est = lane.cap_est[idx]
+                        near = (
+                            lane.has_est[idx]
+                            & (near_lo * est <= da)
+                            & (da <= near_hi * est)
+                        )
+                        denom = srtt + 0.1
+                        denom = np.where(denom < 1e-3, 1e-3, denom)
+                        additive = rate + half_mtu_bits / denom * dt
+                        multiplicative = rate * growth_dt
+                        rate = np.where(
+                            grow & near,
+                            additive,
+                            np.where(
+                                grow & ~near & saturated,
+                                multiplicative,
+                                rate,
+                            ),
+                        )
+                        rate_cap = 1.5 * da + 10_000.0
+                        rate = np.where(
+                            grow & saturated & (da > 0.0) & (rate > rate_cap),
+                            rate_cap,
+                            rate,
+                        )
+                        pj = grow & (probe_bits > 0.0)
+                        if pj.any():
+                            est_bps = probe_bits / (
+                                PROBE_JITTER_SPAN + probe_bits / capv
+                            )
+                            jump_m = pj & (est_bps > 1.5 * rate)
+                            if jump_m.any():
+                                jump = 0.85 * est_bps
+                                limit = 4.0 * rate
+                                jumped = np.where(jump < limit, jump, limit)
+                                rate = np.where(jump_m, jumped, rate)
+                                lr = np.where(
+                                    jump_m & (lr < rate), rate, lr
+                                )
+                    # Loss-based branch at RTCP report cadence.
+                    accum = np.where(
+                        upd, lane.loss_accum[idx] + dt, lane.loss_accum[idx]
+                    )
+                    while True:
+                        fire = upd & (accum >= LOSS_REPORT_INTERVAL)
+                        if not fire.any():
+                            break
+                        accum = np.where(
+                            fire, accum - LOSS_REPORT_INTERVAL, accum
+                        )
+                        fraction = frame_loss
+                        dilute = fire & burst & (
+                            frame_loss <= LOSS_CUT_THRESHOLD
+                        )
+                        if dilute.any():
+                            report_packets = (
+                                offered * LOSS_REPORT_INTERVAL / _MTU_BITS
+                            )
+                            report_packets = np.where(
+                                report_packets < 1.0, 1.0, report_packets
+                            )
+                            diluted = BURST_EXPECTED_LOSSES / report_packets
+                            fraction = np.where(
+                                dilute,
+                                np.where(
+                                    inst_peak <= diluted, inst_peak, diluted
+                                ),
+                                fraction,
+                            )
+                        lr = np.where(
+                            fire & (fraction > LOSS_CUT_THRESHOLD),
+                            lr * (1.0 - 0.5 * fraction),
+                            np.where(
+                                fire & (fraction < LOSS_PROBE_THRESHOLD),
+                                lr * 1.05,
+                                lr,
+                            ),
+                        )
+                    lane.loss_accum[idx] = accum
+                    loss_cap = 2.0 * rate
+                    lr = np.where(
+                        upd,
+                        np.where(
+                            lr > loss_cap,
+                            loss_cap,
+                            np.where(lr < gcc_min, gcc_min, lr),
+                        ),
+                        lr,
+                    )
+                    lane.loss_rate[idx] = lr
+                    rate = np.where(
+                        upd,
+                        np.where(
+                            rate < gcc_min,
+                            gcc_min,
+                            np.where(rate > gcc_max, gcc_max, rate),
+                        ),
+                        rate,
+                    )
+                    lane.rate[idx] = rate
+
+                completion = (
+                    np.where(queue_delay < 4.0, queue_delay, 4.0) + pc.prop
+                ) + rtx_rounds * srtt
+                lane.out_delivered[idx] = delivered
+                lane.out_completion[idx] = completion
+                lane.out_killed[idx] = killed
+                self.step_media[idx] += mb
+                self.step_fec[idx] += fec_bytes
+
+            # -- idle paths ------------------------------------------------
+            for lane in lanes:
+                im = ~lane.member
+                draining = im & (lane.backlog > 0.0)
+                if draining.any():
+                    bl = lane.backlog - lane.cap * dt / 8.0
+                    bl = np.where(bl < 0.0, 0.0, bl)
+                    lane.backlog = np.where(draining, bl, lane.backlog)
+                dec = im & (lane.cap <= 0.0)
+                if dec.any():
+                    r = lane.rate * decay_scaled
+                    lane.rate = np.where(
+                        dec, np.where(r < gcc_min, gcc_min, r), lane.rate
+                    )
+                    lr2 = lane.loss_rate * decay_scaled
+                    lane.loss_rate = np.where(
+                        dec,
+                        np.where(lr2 < gcc_min, gcc_min, lr2),
+                        lane.loss_rate,
+                    )
+
+            # -- FEC budget feedback ---------------------------------------
+            pm = self.step_media > 0
+            if pm.any():
+                instant = self.step_fec / self.step_media
+                self.protection = np.where(
+                    pm,
+                    self.protection
+                    + _PROTECTION_SMOOTHING * (instant - self.protection),
+                    self.protection,
+                )
+
+            # -- frame finish ----------------------------------------------
+            if enc_any:
+                self._finish(
+                    step, now, enc_mask, enc_all, max_latency, is_converge
+                )
+
+        return self._finalize()
+
+    # -- step helpers ------------------------------------------------------
+
+    def _watchdog(
+        self,
+        now: float,
+        p: int,
+        lane: _PathLanes,
+        cap: F8,
+        attention: B1,
+        degrade_timeout: float,
+        silence_timeout: float,
+        decay_scaled: float,
+        gcc_min: float,
+    ) -> None:
+        pid = self.consts[p].path_id
+        dark = attention & (cap <= 0.0)
+        if dark.any():
+            lane.silence = np.where(dark, lane.silence + self.dt, lane.silence)
+            over = dark & (lane.silence > degrade_timeout)
+            if over.any():
+                newly = over & ~lane.degraded
+                if newly.any():
+                    lane.degraded |= newly
+                    for i in np.flatnonzero(newly).tolist():
+                        self.path_events[i].append((now, pid, "degraded"))
+                r = lane.rate * decay_scaled
+                lane.rate = np.where(
+                    over, np.where(r < gcc_min, gcc_min, r), lane.rate
+                )
+                lr = lane.loss_rate * decay_scaled
+                lane.loss_rate = np.where(
+                    over, np.where(lr < gcc_min, gcc_min, lr), lane.loss_rate
+                )
+            gone = dark & (lane.silence > silence_timeout) & ~lane.disabled
+            if gone.any():
+                lane.disabled |= gone
+                for i in np.flatnonzero(gone).tolist():
+                    self.path_events[i].append((now, pid, "disabled"))
+        back = attention & (cap > 0.0) & (lane.silence > 0.0)
+        if back.any():
+            lane.silence = np.where(back, 0.0, lane.silence)
+            restored = back & lane.degraded
+            enabled = back & lane.disabled
+            lane.degraded &= ~restored
+            lane.disabled &= ~enabled
+            if restored.any() or enabled.any():
+                rs = set(np.flatnonzero(restored).tolist())
+                es = set(np.flatnonzero(enabled).tolist())
+                for i in sorted(rs | es):
+                    if i in rs:
+                        self.path_events[i].append((now, pid, "restored"))
+                    if i in es:
+                        self.path_events[i].append((now, pid, "enabled"))
+
+    def _cm_schedule(
+        self, now: float, usable: List[B1], pids: List[int]
+    ) -> None:
+        """WebRTC-CM failover: one pinned path with reconnect windows."""
+        lanes = self.lanes
+        batch = self.batch_size
+        reconnecting = now < self.cm_reconnect_until
+        active = ~reconnecting
+        pinned_usable = np.zeros(batch, dtype=np.bool_)
+        pinned_silence = np.zeros(batch, dtype=np.float64)
+        for p, pid in enumerate(pids):
+            at = self.pinned == pid
+            pinned_usable |= at & usable[p]
+            pinned_silence = np.where(
+                at, lanes[p].silence, pinned_silence
+            )
+        failed = active & (
+            ~pinned_usable | (pinned_silence > _CM_FAILURE_TIMEOUT)
+        )
+        if failed.any():
+            # First-min candidate (pid order, strict <) among usable
+            # paths other than the pinned one.
+            cand_pid = np.full(batch, -1, dtype=np.int64)
+            cand_sil = np.zeros(batch, dtype=np.float64)
+            for p, pid in enumerate(pids):
+                eligible = failed & usable[p] & (self.pinned != pid)
+                first = eligible & (cand_pid < 0)
+                better = eligible & (cand_pid >= 0) & (
+                    lanes[p].silence < cand_sil
+                )
+                pick = first | better
+                cand_pid = np.where(pick, pid, cand_pid)
+                cand_sil = np.where(pick, lanes[p].silence, cand_sil)
+            switching = failed & (cand_pid >= 0)
+            if switching.any():
+                self.pinned = np.where(switching, cand_pid, self.pinned)
+                self.cm_reconnect_until = np.where(
+                    switching, now + _CM_RECONNECT_DELAY,
+                    self.cm_reconnect_until,
+                )
+            sending = active & ~switching
+        else:
+            sending = active
+        for p, pid in enumerate(pids):
+            lanes[p].member = sending & (self.pinned == pid)
+
+    def _allocate(
+        self,
+        enc_mask: B1,
+        send_n: I8,
+        total_weight: F8,
+        mtu: int,
+        is_converge: bool,
+    ) -> None:
+        """Split ``size0`` over member paths (``_allocate``, batched)."""
+        lanes = self.lanes
+        batch = self.batch_size
+        size = self.size0
+        key = self.key0
+        nk = key & is_converge if is_converge else np.zeros(batch, np.bool_)
+        one = enc_mask & (send_n == 1)
+        two = enc_mask & (send_n == 2)
+        two_prop = two & ~nk
+        gen = enc_mask & (send_n >= 3)
+        conv_key = (two | gen) & nk
+        gen_split = gen & ~nk
+        if two_prop.any():
+            w_first = np.zeros(batch, dtype=np.float64)
+            for lane in lanes:
+                first = two_prop & lane.member & (lane.rank == 0)
+                w_first = np.where(first, lane.weight, w_first)
+            share = (size * w_first / total_weight).astype(np.int64)
+        if conv_key.any():
+            # Keyframes ride the path with the smallest srtt + queue
+            # delay at the current target (first-min in pid order).
+            best_col = np.full(batch, -1, dtype=np.int64)
+            best_score = np.zeros(batch, dtype=np.float64)
+            for p, lane in enumerate(lanes):
+                m = conv_key & lane.member
+                if not m.any():
+                    continue
+                drain_rate = np.where(lane.tgt > 1.0, lane.tgt, 1.0)
+                qd = np.where(
+                    lane.backlog > 0.0,
+                    lane.backlog * 8.0 / drain_rate,
+                    0.0,
+                )
+                score = lane.srtt + qd
+                first = m & (best_col < 0)
+                better = m & (best_col >= 0) & (score < best_score)
+                pick = first | better
+                best_col = np.where(pick, p, best_col)
+                best_score = np.where(pick, score, best_score)
+        assigned = np.zeros(batch, dtype=np.int64)
+        if gen_split.any():
+            for lane in lanes:
+                head = gen_split & lane.member & (lane.rank < send_n - 1)
+                if head.any():
+                    part = (size * lane.weight / total_weight).astype(
+                        np.int64
+                    )
+                    lane.step_bytes = np.where(
+                        head, part, lane.step_bytes
+                    )
+                    assigned += np.where(head, part, 0)
+        for p, lane in enumerate(lanes):
+            m = lane.member
+            sb = lane.step_bytes
+            sb = np.where(one & m, size, sb)
+            if two_prop.any():
+                sb = np.where(two_prop & m & (lane.rank == 0), share, sb)
+                sb = np.where(
+                    two_prop & m & (lane.rank == 1), size - share, sb
+                )
+            if conv_key.any():
+                sb = np.where(conv_key & (best_col == p), size, sb)
+            if gen_split.any():
+                sb = np.where(
+                    gen_split & m & (lane.rank == send_n - 1),
+                    size - assigned,
+                    sb,
+                )
+            lane.step_bytes = sb
+            positive = sb > 0
+            lane.step_packets = np.where(positive, -((-sb) // mtu), 0)
+            lane.step_key = key & positive
+
+    def _hard_drop(self, now: float, idx: I8) -> None:
+        """Drop the in-flight frame for the listed cells."""
+        blocked = self.blocked
+        request_at = self.request_at
+        rearm = ~blocked[idx] | (request_at[idx] == math.inf)
+        request_at[idx[rearm]] = now + _KEYFRAME_RECOVERY_DELAY
+        blocked[idx] = True
+        self.drops[idx] += 1
+
+    def _finish(
+        self,
+        step: int,
+        now: float,
+        enc_mask: B1,
+        enc_all: bool,
+        max_latency: float,
+        is_converge: bool,
+    ) -> None:
+        lanes = self.lanes
+        pool = self.pool
+        batch = self.batch_size
+        completion = np.zeros(batch, dtype=np.float64)
+        any_failed = np.zeros(batch, dtype=np.bool_)
+        dropped = np.zeros(batch, dtype=np.bool_)
+        dropped_any = False
+        size = self.size0
+        for lane in lanes:
+            act = enc_mask & lane.member & (lane.step_bytes > 0)
+            if dropped_any:
+                act &= ~dropped
+            if not act.any():
+                continue
+            kb = act & lane.out_killed
+            if kb.any():
+                sub = np.flatnonzero(kb)
+                u = pool.draw(sub)
+                share = lane.step_bytes[sub] / size[sub]
+                kdrop = u < share
+                if kdrop.any():
+                    gone = sub[kdrop]
+                    dropped[gone] = True
+                    dropped_any = True
+                    self._hard_drop(now, gone)
+                survived = sub[~kdrop]
+                if survived.size:
+                    lane.out_failed[survived] = True
+                    any_failed[survived] = True
+            fold = act & ~lane.out_killed
+            if fold.any():
+                completion = np.where(
+                    fold & (lane.out_completion > completion),
+                    lane.out_completion,
+                    completion,
+                )
+                miss = fold & ~lane.out_delivered
+                lane.out_failed |= miss
+                any_failed |= miss
+        if any_failed.any():
+            need_best = enc_mask & any_failed
+            if dropped_any:
+                need_best &= ~dropped
+            # Salvage pass over the (few) cells whose frame missed on
+            # some path: gather them down to a short index vector.
+            nb = np.flatnonzero(need_best)
+            if nb.size:
+                best_comp = np.zeros(nb.size, dtype=np.float64)
+                best_srtt = np.zeros(nb.size, dtype=np.float64)
+                found = np.zeros(nb.size, dtype=np.bool_)
+                for lane in lanes:
+                    cand = (
+                        lane.member[nb]
+                        & ~lane.out_failed[nb]
+                        & lane.out_delivered[nb]
+                    )
+                    if not cand.any():
+                        continue
+                    comp_nb = lane.out_completion[nb]
+                    first = cand & ~found
+                    better = cand & found & (comp_nb < best_comp)
+                    pick = first | better
+                    best_comp = np.where(pick, comp_nb, best_comp)
+                    best_srtt = np.where(pick, lane.srtt[nb], best_srtt)
+                    found |= cand
+                nobody = nb[~found]
+                if nobody.size:
+                    dropped[nobody] = True
+                    dropped_any = True
+                    self._hard_drop(now, nobody)
+                if found.any():
+                    salvage = best_comp + best_srtt
+                    cur = completion[nb]
+                    completion[nb] = np.where(
+                        found & (salvage > cur), salvage, cur
+                    )
+        late = enc_mask & (completion > max_latency)
+        if dropped_any:
+            late &= ~dropped
+        if late.any():
+            lidx = np.flatnonzero(late)
+            dropped[lidx] = True
+            dropped_any = True
+            self._hard_drop(now, lidx)
+        if self.blocked.any():
+            gap = enc_mask & self.blocked & ~self.key0
+            if dropped_any:
+                gap &= ~dropped
+            if gap.any():
+                gidx = np.flatnonzero(gap)
+                dropped[gidx] = True
+                dropped_any = True
+                self.drops[gidx] += 1
+        if enc_all and not dropped_any:
+            # Everyone rendered: whole-row writes, no index gathers.
+            self.received_total += size
+            self.blocked.fill(False)
+            self.rendered_size[step] = size
+            self.rendered_key[step] = self.key0
+            self.rendered_qp[step] = self.qp0
+            self.rendered_completion[step] = completion
+            return
+        render = enc_mask & ~dropped
+        if render.any():
+            ridx = np.flatnonzero(render)
+            self.received_total[ridx] += size[ridx]
+            self.blocked[ridx] = False
+            self.rendered_size[step, ridx] = size[ridx]
+            self.rendered_key[step, ridx] = self.key0[ridx]
+            self.rendered_qp[step, ridx] = self.qp0[ridx]
+            self.rendered_completion[step, ridx] = completion[ridx]
+
+    # -- payload construction ----------------------------------------------
+
+    def _finalize(self) -> List[Dict[str, Any]]:
+        config = self.config
+        duration = config.duration
+        frame_rate = config.frame_rate
+        rd_model = config.encoder_template.rd_model
+        nominal_interval = 1.0 / frame_rate
+        nows = np.array(self.nows, dtype=np.float64)
+        sample_nows = [self.nows[s] for s in self.sample_steps]
+        # Receive-rate window cutoffs: first retained render step per
+        # sample instant (strictly-older entries are evicted).
+        cut_index = np.searchsorted(
+            nows, np.array(sample_nows) - 1.0, side="left"
+        )
+        sample_index = np.array(self.sample_steps, dtype=np.int64)
+        render_cum = np.zeros(
+            (self.steps + 1, self.batch_size), dtype=np.int64
+        )
+        np.cumsum(self.rendered_size, axis=0, out=render_cum[1:])
+        rr_values = (
+            (render_cum[sample_index] - render_cum[cut_index]) * 8 / 1.0
+        )
+        # Per-cell transposes: contiguous columns for cheap extraction.
+        rendered_size_t = np.ascontiguousarray(self.rendered_size.T)
+        rendered_key_t = np.ascontiguousarray(self.rendered_key.T)
+        rendered_qp_t = np.ascontiguousarray(self.rendered_qp.T)
+        rendered_completion_t = np.ascontiguousarray(
+            self.rendered_completion.T
+        )
+        tr_t = np.ascontiguousarray(self.tr_samples.T)
+        rr_t = np.ascontiguousarray(rr_values.T)
+        tgt_t = [
+            np.ascontiguousarray(lane.tgt_samples.T) for lane in self.lanes
+        ]
+        # fps buckets, replayed with the collector's float accumulator.
+        bucket_ends: List[float] = []
+        t = 0.0
+        while t < duration:
+            bucket_ends.append(t + 1.0)
+            t += 1.0
+        payloads = []
+        for i, cell in enumerate(self.cells):
+            payloads.append(
+                self._cell_payload(
+                    i,
+                    cell,
+                    nows,
+                    sample_nows,
+                    rendered_size_t[i],
+                    rendered_key_t[i],
+                    rendered_qp_t[i],
+                    rendered_completion_t[i],
+                    tr_t[i],
+                    rr_t[i],
+                    tgt_t,
+                    bucket_ends,
+                    rd_model,
+                    nominal_interval,
+                )
+            )
+        return payloads
+
+    def _cell_payload(
+        self,
+        i: int,
+        cell: Cell,
+        nows: F8,
+        sample_nows: List[float],
+        sizes: I8,
+        keys: B1,
+        qps: F8,
+        completions: F8,
+        tr_col: F8,
+        rr_col: F8,
+        tgt_t: List[F8],
+        bucket_ends: List[float],
+        rd_model: Any,
+        nominal_interval: float,
+    ) -> Dict[str, Any]:
+        config = self.config
+        duration = config.duration
+        frame_rate = config.frame_rate
+        render_steps = np.flatnonzero(sizes)
+        capture = nows[render_steps]
+        comp = completions[render_steps]
+        render_times = capture + comp
+        rendered_count = int(render_steps.shape[0])
+        # QoE summary (repro.metrics.qoe.summarize, exactly batched:
+        # cumsum replays Python's left-fold sums bit for bit).
+        e2e = render_times - capture
+        if rendered_count:
+            e2e_mean = float(np.cumsum(e2e)[-1]) / rendered_count
+            deviations = e2e - e2e_mean
+            squares = _unique_apply(lambda v: v**2.0, deviations)
+            e2e_std = math.sqrt(
+                float(np.cumsum(squares)[-1]) / rendered_count
+            )
+            e2e_sorted = np.sort(e2e)
+            e2e_p95 = float(
+                e2e_sorted[
+                    min(int(0.95 * rendered_count), rendered_count - 1)
+                ]
+            )
+        else:
+            e2e_mean = 0.0
+            e2e_std = 0.0
+            e2e_p95 = 0.0
+        # Freeze stats over sorted render times with boundary gaps.
+        if rendered_count:
+            ordered = np.sort(render_times)
+            bounds = np.empty(rendered_count + 2, dtype=np.float64)
+            bounds[0] = 0.0
+            bounds[1:-1] = ordered
+            bounds[-1] = duration
+            gaps = bounds[1:] - bounds[:-1]
+            frozen = gaps[gaps > FREEZE_THRESHOLD] - nominal_interval
+            freeze_count = int(frozen.shape[0])
+            freeze_total = (
+                float(np.cumsum(frozen)[-1]) if freeze_count else 0.0
+            )
+        else:
+            freeze_count = 1
+            freeze_total = duration
+        freeze_mean = freeze_total / freeze_count if freeze_count else 0.0
+        # ``qps`` carries the clamped RD ratio; the deferred log (the
+        # encoder's exact ``math.log``) and QP clamp happen here, once
+        # per rendered frame.
+        ratios = qps[render_steps]
+        qp_values = rd_model.qp_anchor - rd_model.qp_slope * np.fromiter(
+            map(math.log, ratios.tolist()), np.float64, count=rendered_count
+        )
+        qp_values = np.where(
+            qp_values < rd_model.qp_min, rd_model.qp_min, qp_values
+        )
+        qp_values = np.where(
+            qp_values > rd_model.qp_max, rd_model.qp_max, qp_values
+        )
+        if rendered_count:
+            average_qp = float(np.cumsum(qp_values)[-1]) / rendered_count
+        else:
+            average_qp = rd_model.qp_max
+        frozen_frames = int(freeze_total * frame_rate)
+        psnr_live = rd_model.psnr_intercept - rd_model.psnr_slope * qp_values
+        psnr_samples = np.concatenate(
+            [psnr_live, np.full(frozen_frames, REPEATED_FRAME_PSNR)]
+        )
+        total_samples = rendered_count + frozen_frames
+        average_psnr = (
+            float(np.cumsum(psnr_samples)[-1]) / total_samples
+            if total_samples
+            else 0.0
+        )
+        media_packets_sent = 0
+        fec_packets_sent = 0
+        paths_block: Dict[str, Dict[str, int]] = {}
+        for p, lane in enumerate(self.lanes):
+            mp = int(lane.rec_media_packets[i])
+            fp = int(lane.rec_fec_packets[i])
+            media_packets_sent += mp
+            fec_packets_sent += fp
+            paths_block[str(self.consts[p].path_id)] = {
+                "media_packets": mp,
+                "media_bytes": int(lane.rec_media_bytes[i]),
+                "fec_packets": fp,
+                "fec_bytes": int(lane.rec_fec_bytes[i]),
+                "rtx_packets": int(lane.rec_rtx_packets[i]),
+                "rtx_bytes": int(lane.rec_rtx_bytes[i]),
+            }
+        fec_overhead = (
+            fec_packets_sent / media_packets_sent if media_packets_sent else 0.0
+        )
+        fec_received = int(self.fec_received_total[i])
+        fec_utilization = (
+            int(self.fec_recovered_total[i]) / fec_received
+            if fec_received
+            else 0.0
+        )
+        # fps series: bucketed render counts (collector.fps_series).
+        sorted_rt = np.sort(render_times)
+        edges = np.searchsorted(sorted_rt, np.array(bucket_ends), side="left")
+        fps_counts = np.empty(len(bucket_ends), dtype=np.int64)
+        fps_counts[0] = edges[0]
+        fps_counts[1:] = edges[1:] - edges[:-1]
+        fps_values = (fps_counts / 1.0).tolist()
+        capture_list = capture.tolist()
+        label = cell.label or config.system.value
+        return {
+            "label": label,
+            "config": {
+                "system": config.system.value,
+                "fec_mode": config.fec_mode.value,
+                "duration": duration,
+                "num_streams": config.num_streams,
+                "seed": cell.seed,
+                "qoe_feedback_enabled": config.qoe_feedback_enabled,
+            },
+            "summary": {
+                "frames_rendered": rendered_count,
+                "average_fps": rendered_count / duration / 1,
+                "throughput_bps": int(self.received_total[i]) * 8 / duration,
+                "e2e_mean": e2e_mean,
+                "e2e_std": e2e_std,
+                "e2e_p95": e2e_p95,
+                "freeze_count": freeze_count,
+                "freeze_total": freeze_total,
+                "freeze_mean": freeze_mean,
+                "average_qp": average_qp,
+                "average_psnr": average_psnr,
+                "psnr_samples": psnr_samples.tolist(),
+                "fec_overhead": fec_overhead,
+                "fec_utilization": fec_utilization,
+                "frame_drops": int(self.drops[i]),
+                "keyframe_requests": len(self.kf_requests[i]),
+            },
+            "series": {
+                "receive_rate": {
+                    "times": list(sample_nows),
+                    "values": rr_col.tolist(),
+                },
+                "target_rate": {
+                    "times": list(sample_nows),
+                    "values": tr_col.tolist(),
+                },
+                "ifd": {
+                    "times": capture_list[1:],
+                    "values": (render_times[1:] - render_times[:-1]).tolist(),
+                },
+                "fcd": {
+                    "times": capture_list,
+                    "values": comp.tolist(),
+                },
+                "fps": {
+                    "times": list(bucket_ends),
+                    "values": fps_values,
+                },
+                "path_rates": {
+                    str(self.consts[p].path_id): {
+                        "times": list(sample_nows),
+                        "values": tgt_t[p][i].tolist(),
+                    }
+                    for p in range(len(self.lanes))
+                },
+            },
+            "paths": paths_block,
+            "events": {
+                "keyframe_requests": [
+                    list(req) for req in self.kf_requests[i]
+                ],
+                "feedback": [],
+                "path_events": [
+                    {"time": time, "path_id": path_id, "event": event}
+                    for time, path_id, event in self.path_events[i]
+                ],
+            },
+            "faults": {"injected": [], "recovery": []},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Group execution
+
+
+def execute_batch(cells: Sequence[Cell]) -> List[Dict[str, Any]]:
+    """Execute one structural group of cells as an array program.
+
+    All cells must share :func:`group_key`; cells that fail the dynamic
+    path checks (scheduled loss models, per-path parameter drift) fall
+    back to the scalar backend individually.  Results come back in
+    input order, byte-identical to normalized scalar runner payloads.
+    """
+    if not cells:
+        return []
+    payloads: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    accepted: List[int] = []
+    links_per_cell: List[List[FlowLink]] = []
+    template_sig: Optional[List[Tuple[Any, ...]]] = None
+    template_config: Optional[CallConfig] = None
+    for index, cell in enumerate(cells):
+        if not batchable(cell):
+            continue
+        path_configs = sorted(
+            cell.paths.build(cell.duration, cell.seed),
+            key=lambda pc: pc.path_id,
+        )
+        config = build_template_config(cell)
+        links = [FlowLink(pc) for pc in path_configs]
+        if any(link._scheduled is not None for link in links):
+            continue
+        signature = [_PathConsts(link).signature() for link in links]
+        if template_sig is None:
+            template_sig = signature
+            template_config = config
+        if signature != template_sig:
+            continue
+        accepted.append(index)
+        links_per_cell.append(links)
+    if accepted and template_config is not None:
+        run = _BatchFlowRun(
+            template_config,
+            [cells[i] for i in accepted],
+            links_per_cell,
+        )
+        # One suppressed-warning window for the whole array program:
+        # guarded divisions (outage capacities, zero weights) are
+        # selected away by ``np.where`` right after they happen.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            batch_payloads = run.run()
+        for i, payload in zip(accepted, batch_payloads):
+            payloads[i] = payload
+    for index, payload in enumerate(payloads):
+        if payload is None:
+            payloads[index] = _scalar_payload(cells[index])
+    return [payload for payload in payloads if payload is not None]
+
+
+def build_template_config(cell: Cell) -> CallConfig:
+    """The :class:`CallConfig` the batch shares (seed/label vary)."""
+    from repro.core.api import build_call_config
+
+    return build_call_config(
+        cell.system,
+        duration=cell.duration,
+        num_streams=cell.num_streams,
+        seed=cell.seed,
+        single_path_id=cell.single_path_id,
+        label=cell.label,
+        **cell.override_kwargs(),
+    )

@@ -245,6 +245,7 @@ class FlowCall:
         "_frame_drops",
         "_step_dt",
         "_total_steps",
+        "_force_reference",
     )
 
     def __init__(
@@ -253,6 +254,7 @@ class FlowCall:
         path_configs: Sequence[PathConfig],
         fault_plan: Optional[FaultPlan] = None,
         churn_scenario: Optional[str] = None,
+        force_reference: bool = False,
     ) -> None:
         if not path_configs:
             raise ValueError("a call needs at least one path")
@@ -283,6 +285,13 @@ class FlowCall:
         self._fec_received = 0
         self._fec_recovered = 0
         self._frame_drops = 0
+        # Drift seam: route the dominant single-stream case through the
+        # factored reference methods (_encode_frame / _allocate /
+        # _finish_frame / _drop_frame) instead of their inlined copies.
+        # The hot loop's RNG draw order is identical either way, so the
+        # two modes must stay byte-identical — tests/test_flow_drift.py
+        # pins that.
+        self._force_reference = force_reference
 
     # -- path lifecycle ----------------------------------------------------
 
@@ -557,7 +566,7 @@ class FlowCall:
         frame_rate = config.frame_rate
         encoder_utilization = config.encoder_utilization
         num_streams = config.num_streams
-        single_stream = num_streams == 1
+        single_stream = num_streams == 1 and not self._force_reference
         stream0 = stream_states[0]
         max_latency = config.receiver.max_playout_latency
         watchdog = config.watchdog
@@ -1733,6 +1742,7 @@ def run_flow_call(
     path_configs: Sequence[PathConfig],
     fault_plan: Optional[FaultPlan] = None,
     churn_scenario: Optional[str] = None,
+    force_reference: bool = False,
 ) -> CallResult:
     """Run one flow-fidelity call; drop-in twin of ``run_call``."""
     call = FlowCall(
@@ -1740,5 +1750,6 @@ def run_flow_call(
         path_configs,
         fault_plan=fault_plan,
         churn_scenario=churn_scenario,
+        force_reference=force_reference,
     )
     return call.run()

@@ -1,0 +1,257 @@
+"""Tests for the fleet engine, bootstrap CIs and cache shard/merge."""
+
+import json
+
+import pytest
+
+from repro.analysis.stats import bootstrap_ci
+from repro.cli import main
+from repro.core.config import SystemKind
+from repro.experiments.cache import ResultCache
+from repro.experiments.cells import Fidelity, cell_key
+from repro.experiments.fleet import (
+    FLEET_METRICS,
+    FleetSpec,
+    expand_fleet,
+    fleet_statistics,
+    run_fleet,
+)
+from repro.experiments.runner import run_cells
+
+DURATION = 2.0
+
+
+def _spec(**kw):
+    defaults = dict(
+        scenarios=("driving",),
+        systems=(SystemKind.CONVERGE,),
+        seeds=(1, 2, 3),
+        duration=DURATION,
+        fidelity=Fidelity.FLOW,
+    )
+    defaults.update(kw)
+    return FleetSpec(**defaults)
+
+
+class TestFleetSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _spec(scenarios=())
+        with pytest.raises(ValueError):
+            _spec(systems=())
+        with pytest.raises(ValueError):
+            _spec(seeds=())
+        with pytest.raises(ValueError):
+            _spec(duration=0.0)
+
+    def test_string_fidelity_is_coerced(self):
+        assert _spec(fidelity="flow").fidelity is Fidelity.FLOW
+
+    def test_from_ranges(self):
+        spec = FleetSpec.from_ranges(
+            ["driving", "walking"],
+            [SystemKind.CONVERGE, SystemKind.SRTT],
+            seed_start=5,
+            seed_count=4,
+            duration=DURATION,
+        )
+        assert spec.seeds == (5, 6, 7, 8)
+        assert spec.cell_count == 2 * 2 * 4
+        with pytest.raises(ValueError):
+            FleetSpec.from_ranges(
+                ["driving"], [SystemKind.CONVERGE], 1, 0, DURATION
+            )
+
+    def test_expand_order_scenarios_outermost_seeds_innermost(self):
+        spec = _spec(
+            scenarios=("driving", "walking"),
+            systems=(SystemKind.CONVERGE, SystemKind.SRTT),
+            seeds=(1, 2),
+        )
+        cells = expand_fleet(spec)
+        assert len(cells) == spec.cell_count
+        observed = [(c.system, c.seed) for c in cells[:4]]
+        assert observed == [
+            (SystemKind.CONVERGE, 1),
+            (SystemKind.CONVERGE, 2),
+            (SystemKind.SRTT, 1),
+            (SystemKind.SRTT, 2),
+        ]
+        # Second scenario repeats the same (system, seed) grid.
+        assert [(c.system, c.seed) for c in cells[4:]] == observed
+
+
+class TestBootstrapCi:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], resamples=0)
+
+    def test_single_sample_is_degenerate(self):
+        assert bootstrap_ci([4.2]) == (4.2, 4.2)
+
+    def test_deterministic_per_label(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = bootstrap_ci(values, seed_label="x")
+        assert a == bootstrap_ci(values, seed_label="x")
+        # Different labels draw from different streams (the endpoints
+        # can still coincide on tiny samples, so compare the full
+        # resample behaviour through a one-resample interval).
+        assert bootstrap_ci(values, resamples=1, seed_label="x") != (
+            bootstrap_ci(values, resamples=1, seed_label="y")
+        )
+
+    def test_interval_brackets_the_mean(self):
+        values = [10.0, 11.0, 12.0, 13.0, 14.0]
+        lo, hi = bootstrap_ci(values, resamples=500)
+        assert lo <= 12.0 <= hi
+        assert min(values) <= lo <= hi <= max(values)
+
+
+class TestFleetStatistics:
+    def test_alignment_error(self):
+        spec = _spec()
+        with pytest.raises(ValueError):
+            fleet_statistics(spec, [None] * (spec.cell_count + 1))
+
+    def test_groups_and_failures(self, tmp_path):
+        spec = _spec(seeds=(1, 2))
+        report = run_cells(
+            expand_fleet(spec), cache=tmp_path, mode="batch"
+        )
+        summaries = list(report.summaries())
+        groups = fleet_statistics(spec, summaries)
+        assert len(groups) == 1
+        group = groups[0]
+        assert (group.scenario, group.system) == ("driving", "converge")
+        assert group.n == 2 and group.failed == 0
+        for metric in FLEET_METRICS:
+            row = group.metrics[metric]
+            assert row["ci_lo"] <= row["mean"] <= row["ci_hi"]
+        # A failed cell shows up as failed, not as a crash.
+        summaries[0] = None
+        degraded = fleet_statistics(spec, summaries)[0]
+        assert degraded.n == 1 and degraded.failed == 1
+
+    def test_statistics_are_pure(self, tmp_path):
+        spec = _spec(seeds=(1, 2))
+        summaries = run_cells(
+            expand_fleet(spec), cache=tmp_path, mode="batch"
+        ).summaries()
+        first = [g.payload() for g in fleet_statistics(spec, summaries)]
+        second = [g.payload() for g in fleet_statistics(spec, summaries)]
+        assert first == second
+
+
+class TestRunFleet:
+    def test_report_payload_round_trips(self, tmp_path):
+        spec = _spec(seeds=(1, 2))
+        report = run_fleet(spec, cache=tmp_path)
+        payload = report.payload()
+        assert payload == json.loads(json.dumps(payload))
+        assert payload["spec"]["seeds"] == [1, 2]
+        assert payload["stats"]["errors"] == 0
+        assert len(payload["groups"]) == 1
+
+
+class TestCacheSharding:
+    def _filled(self, root, n=8):
+        store = ResultCache(root)
+        keys = []
+        for seed in range(1, n + 1):
+            key = f"{seed:064x}"
+            store.put(key, {"seed": seed}, {"metric": float(seed)}, 0.1)
+            keys.append(key)
+        return store, keys
+
+    def test_shard_of_is_content_addressed(self, tmp_path):
+        store = ResultCache(tmp_path)
+        key = "ab" * 32
+        assert store.shard_of(key, 4) == int(key[:8], 16) % 4
+        with pytest.raises(ValueError):
+            store.shard_of(key, 0)
+
+    def test_shard_partitions_all_entries(self, tmp_path):
+        store, keys = self._filled(tmp_path / "src")
+        dirs = [tmp_path / f"shard-{i}" for i in range(3)]
+        counts = store.shard(dirs)
+        assert sum(counts) == len(keys)
+        for key in keys:
+            shard = ResultCache(dirs[store.shard_of(key, 3)])
+            entry = shard.get(key)
+            assert entry is not None
+            assert entry.summary == {"metric": float(int(key, 16))}
+
+    def test_merge_restores_the_original_bytes(self, tmp_path):
+        store, keys = self._filled(tmp_path / "src")
+        dirs = [tmp_path / f"shard-{i}" for i in range(3)]
+        store.shard(dirs)
+        merged = ResultCache(tmp_path / "merged")
+        result = merged.merge(dirs)
+        assert result == {"merged": len(keys), "skipped": 0}
+        for key in keys:
+            assert (
+                merged.path_for(key).read_bytes()
+                == store.path_for(key).read_bytes()
+            )
+
+    def test_merge_skips_existing_and_self(self, tmp_path):
+        store, keys = self._filled(tmp_path / "src", n=4)
+        other = ResultCache(tmp_path / "other")
+        other.merge([store.root])
+        # Second merge: everything already present.
+        assert other.merge([store.root]) == {"merged": 0, "skipped": 4}
+        # Merging a cache into itself is a no-op.
+        assert store.merge([store.root]) == {"merged": 0, "skipped": 0}
+
+    def test_merged_entries_are_runner_visible(self, tmp_path):
+        # A summary computed elsewhere and merged in must satisfy the
+        # runner's cache lookup for the same cell.
+        spec = _spec(seeds=(1,))
+        cells = expand_fleet(spec)
+        run_cells(cells, cache=tmp_path / "remote", mode="batch")
+        local = ResultCache(tmp_path / "local")
+        local.merge([tmp_path / "remote"])
+        report = run_cells(cells, cache=local, jobs=1)
+        assert report.stats.cache_hits == 1
+        assert report.stats.executed == 0
+        assert local.get(cell_key(cells[0])) is not None
+
+
+class TestFleetCli:
+    def test_fleet_command_prints_table_and_json(self, tmp_path, capsys):
+        out_json = tmp_path / "fleet.json"
+        code = main([
+            "fleet", "--scenarios", "driving", "--systems", "converge",
+            "--seeds", "2", "--duration", "2",
+            "--cache", str(tmp_path / "cache"), "--json", str(out_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tput Mbps" in out and "converge" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["spec"]["systems"] == ["converge"]
+        assert payload["groups"][0]["n"] == 2
+
+    def test_cache_shard_and_merge_commands(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main([
+            "fleet", "--scenarios", "driving", "--systems", "converge",
+            "--seeds", "2", "--duration", "2", "--cache", str(cache),
+        ]) == 0
+        out_dir = tmp_path / "shards"
+        assert main([
+            "cache", "shard", "--shards", "2", "--out", str(out_dir),
+            "--cache", str(cache),
+        ]) == 0
+        assert "sharded 2 entries" in capsys.readouterr().out
+        merged = tmp_path / "merged"
+        assert main([
+            "cache", "merge", str(out_dir / "shard-0"),
+            str(out_dir / "shard-1"), "--cache", str(merged),
+        ]) == 0
+        assert "merged 2 entries" in capsys.readouterr().out
+        assert len(list(ResultCache(merged).entries())) == 2

@@ -1,0 +1,65 @@
+"""Drift guard for FlowCall's inlined single-stream hot loop.
+
+``FlowCall.run`` inlines the single-stream per-frame work (encode,
+allocate, finish/drop, ledger updates) for speed; the factored
+reference methods (``_encode_frame`` / ``_allocate`` /
+``_finish_frame`` / ``_drop_frame``) remain the readable statement of
+the model and still serve the multi-stream path.  The two must never
+diverge: ``force_reference=True`` routes a single-stream call through
+the factored methods, and this suite asserts the result stays
+byte-identical to the inlined fast path — same metrics, same RNG draw
+order, same rounding.
+
+If one of these tests fails, the inlined loop and the reference
+methods have drifted apart; fix the copy, don't relax the test.
+"""
+
+import pytest
+
+from repro.analysis.export import result_to_dict
+from repro.core.api import build_call_config
+from repro.core.config import SystemKind
+from repro.experiments.cells import canonical_json
+from repro.experiments.common import scenario_paths
+from repro.flow.session import run_flow_call
+
+DURATION = 3.0
+
+SYSTEMS = [
+    SystemKind.CONVERGE,
+    SystemKind.WEBRTC,
+    SystemKind.WEBRTC_CM,
+    SystemKind.SRTT,
+    SystemKind.MTPUT,
+    SystemKind.MRTP,
+]
+
+
+def _run(system, scenario, seed, force_reference):
+    config = build_call_config(
+        system, duration=DURATION, num_streams=1, seed=seed
+    )
+    # Paths must be rebuilt per run: loss models carry state.
+    paths = scenario_paths(scenario, DURATION, seed)
+    result = run_flow_call(config, paths, force_reference=force_reference)
+    return canonical_json(result_to_dict(result))
+
+
+class TestInlinedLoopMatchesReference:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_all_systems_driving(self, system):
+        assert _run(system, "driving", 3, False) == _run(
+            system, "driving", 3, True
+        )
+
+    @pytest.mark.parametrize("scenario", ["walking", "stationary"])
+    def test_converge_across_scenarios(self, scenario):
+        assert _run(SystemKind.CONVERGE, scenario, 3, False) == _run(
+            SystemKind.CONVERGE, scenario, 3, True
+        )
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_seed_sweep(self, seed):
+        assert _run(SystemKind.CONVERGE, "driving", seed, False) == _run(
+            SystemKind.CONVERGE, "driving", seed, True
+        )

@@ -113,6 +113,56 @@ class TestCellKey:
         with pytest.raises(ValueError):
             BuilderPaths("no-colon-here").build(1.0, 1)
 
+    def test_key_is_memoized_per_instance(self):
+        # Repeat lookups return the *same* string object — the hash is
+        # computed once per cell, not once per call site.
+        cell = _cell()
+        assert cell_key(cell) is cell_key(cell)
+        # The memo is salt-aware: changing REPRO_CACHE_SALT recomputes.
+        plain = cell_key(cell)
+        os.environ["REPRO_CACHE_SALT"] = "memo-test"
+        try:
+            salted = cell_key(cell)
+            assert salted != plain
+            assert cell_key(cell) is salted
+        finally:
+            del os.environ["REPRO_CACHE_SALT"]
+        assert cell_key(cell) == plain
+
+    def test_resolved_is_memoized_and_copy_safe(self):
+        cell = _cell()
+        first = cell.resolved()
+        assert cell.resolved() is first
+        # The memo survives (deep)copy/pickle round trips without
+        # leaking shared state into the clone's identity.
+        clone = copy.deepcopy(cell)
+        assert clone.resolved() == first
+        assert cell_key(clone) == cell_key(cell)
+
+    def test_resolved_computed_once_per_cell_per_run(self, tmp_path,
+                                                     monkeypatch):
+        # The runner touches the key/resolved form at several points
+        # (dedup, cache lookup, store, payload); the memo must collapse
+        # them to one canonicalization per cell.
+        calls = []
+        original = Cell._compute_resolved
+
+        def counting(self):
+            calls.append(self)
+            return original(self)
+
+        monkeypatch.setattr(Cell, "_compute_resolved", counting)
+        cells = [_cell(seed=seed) for seed in (1, 2)]
+        report = run_cells(cells, cache=tmp_path, jobs=1)
+        assert report.ok()
+        per_cell = {}
+        for instance in calls:
+            per_cell[id(instance)] = per_cell.get(id(instance), 0) + 1
+        # Worker processes may recompute on their side; in the driver
+        # process each cell resolves exactly once.
+        assert all(count == 1 for count in per_cell.values())
+        assert len(per_cell) <= len(cells)
+
 
 class TestExpandGrid:
     def test_deterministic_order(self):
@@ -328,10 +378,16 @@ class TestRunCells:
         assert report.stats.cache_hits == 0
 
     def test_progress_lines(self, tmp_path, capsys):
-        run_cells([_cell()], jobs=1, cache=tmp_path, progress=True)
+        run_cells([_cell(), _cell(seed=2)], jobs=1, cache=tmp_path,
+                  progress=True)
         err = capsys.readouterr().err
-        assert "[1/1]" in err
+        assert "[1/2]" in err
+        assert "[2/2]" in err
         assert "sweep:" in err
+        # Progress lines carry a pace estimate plus an ETA while cells
+        # remain; the final stats line reports overall throughput.
+        assert "cells/s" in err
+        assert "ETA" in err
 
     def test_jobs_env_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")

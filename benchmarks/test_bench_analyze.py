@@ -1,0 +1,71 @@
+"""Benchmark: `repro analyze` cold vs warm on the real tree.
+
+The whole-program analyzer is meant to run on every commit, so its
+warm path (per-module summaries served from the sha256-keyed cache,
+only the interprocedural passes re-run) must stay interactive.  This
+bench runs the full analysis over ``src/repro`` twice against a
+private cache file — once cold, once warm — prints both timings plus
+the module/edge counts, and asserts the warm run beats the acceptance
+budget.
+
+Knobs (environment): ``REPRO_ANALYZE_WARM_BUDGET`` (seconds, default
+2.0 — the DEVTOOLS.md acceptance bar), ``REPRO_BENCH_OUT`` (output
+directory for ``BENCH_analyze.json``).
+"""
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.devtools.analyze import analyze_tree
+from repro.devtools.config import load_analyze_config
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WARM_BUDGET_S = float(os.environ.get("REPRO_ANALYZE_WARM_BUDGET", "2.0"))
+
+
+def test_bench_analyze_warm_under_budget(tmp_path):
+    config = load_analyze_config(REPO_ROOT / "pyproject.toml")
+    config.cache = str(tmp_path / "analyze-cache.json")
+    paths = [str(REPO_ROOT / p) for p in config.paths]
+
+    start = perf_counter()
+    cold = analyze_tree(paths, config, base=REPO_ROOT, use_cache=True)
+    cold_s = perf_counter() - start
+
+    start = perf_counter()
+    warm = analyze_tree(paths, config, base=REPO_ROOT, use_cache=True)
+    warm_s = perf_counter() - start
+
+    assert cold.parsed == cold.modules, "cold run must parse everything"
+    assert warm.cached == warm.modules, "warm run must be fully cached"
+    assert [f.message for f in warm.findings] == [
+        f.message for f in cold.findings
+    ], "cache round-trip changed the analysis verdict"
+
+    report = {
+        "modules": cold.modules,
+        "functions": len(warm.index.functions),
+        "edges": sum(len(v) for v in warm.index.edges.values()),
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else None,
+        "warm_budget_seconds": WARM_BUDGET_S,
+    }
+    print(
+        "\nBENCH analyze: {modules} modules, {edges} edges | "
+        "cold {cold_seconds}s, warm {warm_seconds}s "
+        "(budget {warm_budget_seconds}s)".format(**report)
+    )
+    out_dir = os.environ.get("REPRO_BENCH_OUT")
+    if out_dir:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "BENCH_analyze.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+
+    assert warm_s < WARM_BUDGET_S, (
+        f"warm analyze took {warm_s:.2f}s, budget {WARM_BUDGET_S}s"
+    )

@@ -15,6 +15,7 @@ Usage::
     python -m repro cache merge shards/shard-0 shards/shard-1
     python -m repro cache clear
     python -m repro lint --format json
+    python -m repro analyze --format sarif
     python -m repro list
 
 Every command is deterministic given ``--seed``: the same invocation
@@ -32,6 +33,7 @@ from typing import List, Optional
 from repro.analysis.export import save_run_report_json
 from repro.analysis.plots import render_series, sparkline
 from repro.core.config import FecMode, SystemKind
+from repro.devtools.analyze import add_analyze_arguments, run_analyze
 from repro.devtools.lint import add_lint_arguments, run_lint
 from repro.experiments import (
     fig01_motivation,
@@ -343,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the simulation-safety static analysis (rules R001-R007)",
     )
     add_lint_arguments(lint_parser)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="run the whole-program determinism analysis (rules R100-R103)",
+    )
+    add_analyze_arguments(analyze_parser)
 
     sub.add_parser("list", help="list systems, scenarios, experiments")
     return parser
@@ -878,6 +886,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "cache": _cmd_cache,
         "lint": run_lint,
+        "analyze": run_analyze,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

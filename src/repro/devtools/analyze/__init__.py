@@ -1,0 +1,61 @@
+"""Whole-program determinism analyzer (``repro analyze``).
+
+Interprocedural companion to the per-function linter
+(:mod:`repro.devtools.lint`): builds a package-wide symbol table and
+call graph, then checks the global invariants the linter cannot see —
+transitive nondeterminism taint (R101), unit flow across function
+boundaries (R102) and dual-implementation drift (R103).  See the
+"Interprocedural analysis" chapter of DEVTOOLS.md.
+"""
+
+from repro.devtools.analyze.baseline import (
+    Baseline,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.devtools.analyze.callgraph import Edge, ProgramIndex
+from repro.devtools.analyze.engine import (
+    AnalysisResult,
+    add_analyze_arguments,
+    analyze_tree,
+    main,
+    run_analyze,
+)
+from repro.devtools.analyze.model import (
+    RULE_SUMMARIES,
+    Finding,
+    Location,
+    sort_findings,
+)
+from repro.devtools.analyze.output import render_sarif, sarif_document
+from repro.devtools.analyze.symbols import (
+    ModuleSummary,
+    extract_module,
+    module_name_of,
+)
+from repro.devtools.analyze.units import UnitTables
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Edge",
+    "Finding",
+    "Location",
+    "ModuleSummary",
+    "ProgramIndex",
+    "RULE_SUMMARIES",
+    "UnitTables",
+    "add_analyze_arguments",
+    "analyze_tree",
+    "apply_baseline",
+    "extract_module",
+    "load_baseline",
+    "main",
+    "module_name_of",
+    "render_sarif",
+    "run_analyze",
+    "sarif_document",
+    "save_baseline",
+    "sort_findings",
+]

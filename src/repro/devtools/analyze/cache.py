@@ -1,0 +1,85 @@
+"""Per-module summary cache for warm analyzer runs.
+
+Keyed by file sha256 + the extraction schema version: a warm run over
+an unchanged tree deserializes summaries instead of re-parsing every
+file, which is what keeps ``repro analyze`` under the 2-second budget
+on the full package.  The cache file (`.repro-analyze-cache.json`,
+gitignored) is a plain JSON object so a corrupt or stale file simply
+degrades to a cold run — never an error.
+
+Summaries must not embed anything that depends on *other* files
+(units.toml, baseline, sibling modules); all cross-module resolution
+happens after loading, in :mod:`.callgraph` and the rule passes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.devtools.analyze.symbols import SCHEMA_VERSION, ModuleSummary
+
+
+class SummaryCache:
+    def __init__(self, path: Optional[Path]) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        if path is None or not path.exists():
+            return
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            isinstance(data, dict)
+            and data.get("schema") == SCHEMA_VERSION
+            and isinstance(data.get("entries"), dict)
+        ):
+            self._entries = data["entries"]
+
+    def get(self, rel_path: str, sha256: str) -> Optional[ModuleSummary]:
+        entry = self._entries.get(rel_path)
+        if entry is None or entry.get("sha256") != sha256:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, summary: ModuleSummary) -> None:
+        self._entries[summary.rel_path] = {
+            "sha256": summary.sha256,
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+
+    def prune(self, live_rel_paths: "set[str]") -> None:
+        """Drop entries for files that no longer exist."""
+        dead = [p for p in self._entries if p not in live_rel_paths]
+        for p in dead:
+            del self._entries[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "entries": dict(sorted(self._entries.items())),
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload) + "\n", encoding="utf-8"
+            )
+        except OSError:
+            # A read-only checkout just stays cold.
+            return
+        self._dirty = False

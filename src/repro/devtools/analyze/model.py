@@ -1,0 +1,106 @@
+"""Finding model for the whole-program analyzer.
+
+The interprocedural rules (R101-R103, see DEVTOOLS.md) need more than
+the linter's file/line/message triple: a taint finding carries the full
+source-to-sink call chain, and every finding carries a *stable
+fingerprint* so the committed baseline file keeps matching it across
+unrelated edits (fingerprints deliberately exclude line numbers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.devtools.diagnostics import Severity
+
+#: Rule identifiers, kept stable for SARIF consumers and baselines.
+RULE_SUMMARIES: Dict[str, str] = {
+    "R100": "analysis configuration or marker error",
+    "R101": "nondeterminism source reachable from a simulation core",
+    "R102": "unit mismatch across a function boundary",
+    "R103": "dual-implementation pair drifted",
+}
+
+#: Legacy per-line waiver ids honoured by each interprocedural rule: a
+#: deliberate wall-clock read waived for the local linter (R001) must
+#: not re-fire through the whole-program view of the same invariant.
+WAIVER_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "R100": ("R100",),
+    "R101": ("R101", "R001", "R002"),
+    "R102": ("R102", "R003"),
+    "R103": ("R103",),
+}
+
+
+@dataclass(frozen=True)
+class Location:
+    """One step of a call chain: a function (or call site) in a file."""
+
+    file: str
+    line: int
+    label: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"file": self.file, "line": self.line, "label": self.label}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, optionally carrying a call chain.
+
+    ``chain`` runs from the analysis root (e.g. ``Simulator.run``) to
+    the function containing the sink; the finding's own ``file:line``
+    is the sink itself.
+    """
+
+    file: str
+    line: int
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+    chain: Tuple[Location, ...] = field(default_factory=tuple)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes line numbers (and the chain, which embeds
+        them): adding an import must not invalidate the baseline.
+        Messages are written line-free for the same reason.
+        """
+        payload = f"{self.rule}|{self.file}|{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    def format(self) -> str:
+        head = (
+            f"{self.file}:{self.line}: {self.rule} "
+            f"[{self.severity.value}] {self.message}"
+        )
+        if not self.chain:
+            return head
+        steps = "\n".join(
+            f"    {'->' if i else '  '} {loc.label} ({loc.file}:{loc.line})"
+            for i, loc in enumerate(self.chain)
+        )
+        return f"{head}\n{steps}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity.value,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.chain:
+            payload["chain"] = [loc.to_dict() for loc in self.chain]
+        return payload
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: file, line, rule, message."""
+    return sorted(
+        findings, key=lambda f: (f.file, f.line, f.rule, f.message)
+    )

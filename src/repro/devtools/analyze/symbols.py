@@ -1,0 +1,977 @@
+"""Per-module symbol extraction for the whole-program analyzer.
+
+One call to :func:`extract_module` turns one source file into a
+:class:`ModuleSummary`: every function/method with its calls, taint
+source hits, unit-relevant facts and declared drift regions, plus the
+module's import tables and class layout.  Summaries are plain-data and
+JSON-serializable — the sha256-keyed cache (:mod:`.cache`) stores them
+verbatim, which is what makes warm ``repro analyze`` runs skip parsing
+entirely.  Everything that depends on *other* modules (call
+resolution, unit tables, pair matching) happens later, on top of the
+summaries, so a cached summary never goes stale because a different
+file changed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import textwrap
+import tokenize
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.devtools.lint import parse_waivers
+from repro.devtools.rules import (
+    _NUMPY_RANDOM_ALLOWED,
+    _RANDOM_ALLOWED_ATTRS,
+    _WALL_CLOCK_CALLS,
+)
+
+#: Bump to invalidate cached summaries when extraction semantics change.
+SCHEMA_VERSION = 1
+
+#: Taint source categories (R101).
+WALL_CLOCK = "wall-clock"
+GLOBAL_RNG = "global-rng"
+ENV_READ = "env-read"
+OS_ENTROPY = "os-entropy"
+
+_ENV_CALLS = {"os.getenv", "os.environ.get", "os.environb.get"}
+_ENTROPY_CALLS = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: Generic container/stdlib method names the conservative
+#: dynamic-dispatch fallback must not resolve by name: linking every
+#: ``x.get(...)`` to every in-package ``get`` method would flood the
+#: call graph with meaningless edges.
+FALLBACK_BLOCKLIST: Set[str] = {
+    "add", "append", "appendleft", "as_posix", "clear", "close", "copy",
+    "count", "decode", "digest", "discard", "dump", "dumps", "encode",
+    "endswith", "exists", "extend", "format", "get", "group", "hexdigest",
+    "index", "insert", "is_dir", "is_file", "items", "join", "keys",
+    "load", "loads", "lower", "lstrip", "match", "mkdir", "open", "pop",
+    "popleft", "popitem", "read", "read_bytes", "read_text", "remove",
+    "resolve", "rstrip", "search", "setdefault", "sort", "split",
+    "splitlines", "startswith", "strip", "sub", "unlink", "update",
+    "upper", "values", "write", "write_text",
+}
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, unresolved."""
+
+    line: int
+    raw: str  # dotted display of the callee ("self.foo", "mod.fn", "fn")
+    recv_kind: Optional[str] = None  # "self" | "var" | "selfattr" | None
+    recv_info: Optional[str] = None  # type text / attribute name
+    args: List[Optional[str]] = field(default_factory=list)
+    kwargs: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "raw": self.raw,
+            "recv_kind": self.recv_kind,
+            "recv_info": self.recv_info,
+            "args": list(self.args),
+            "kwargs": dict(self.kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CallSite":
+        return cls(
+            line=data["line"],
+            raw=data["raw"],
+            recv_kind=data["recv_kind"],
+            recv_info=data["recv_info"],
+            args=list(data["args"]),
+            kwargs=dict(data["kwargs"]),
+        )
+
+
+@dataclass
+class SourceHit:
+    """One nondeterminism source call inside a function."""
+
+    line: int
+    category: str
+    call: str  # canonical dotted name, e.g. "time.time"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "category": self.category, "call": self.call}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SourceHit":
+        return cls(
+            line=data["line"], category=data["category"], call=data["call"]
+        )
+
+
+@dataclass
+class UnitArith:
+    """Additive arithmetic / comparison mixing a call with a name."""
+
+    line: int
+    call: CallSite  # the call operand (args unused, callee matters)
+    other: str  # identifier display of the non-call operand
+    op: str  # "+", "-", "cmp"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "call": self.call.to_dict(),
+            "other": self.other,
+            "op": self.op,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "UnitArith":
+        return cls(
+            line=data["line"],
+            call=CallSite.from_dict(data["call"]),
+            other=data["other"],
+            op=data["op"],
+        )
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the analyses need to know about one function."""
+
+    name: str
+    qualname: str  # module-relative: "func" or "Class.method"
+    line: int
+    end_line: int
+    class_name: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    param_annotations: Dict[str, str] = field(default_factory=dict)
+    calls: List[CallSite] = field(default_factory=list)
+    source_hits: List[SourceHit] = field(default_factory=list)
+    returns: List[Tuple[int, Optional[str]]] = field(default_factory=list)
+    arith: List[UnitArith] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "qualname": self.qualname,
+            "line": self.line,
+            "end_line": self.end_line,
+            "class_name": self.class_name,
+            "params": list(self.params),
+            "param_annotations": dict(self.param_annotations),
+            "calls": [c.to_dict() for c in self.calls],
+            "source_hits": [h.to_dict() for h in self.source_hits],
+            "returns": [[line, disp] for line, disp in self.returns],
+            "arith": [a.to_dict() for a in self.arith],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionInfo":
+        return cls(
+            name=data["name"],
+            qualname=data["qualname"],
+            line=data["line"],
+            end_line=data["end_line"],
+            class_name=data["class_name"],
+            params=list(data["params"]),
+            param_annotations=dict(data["param_annotations"]),
+            calls=[CallSite.from_dict(c) for c in data["calls"]],
+            source_hits=[SourceHit.from_dict(h) for h in data["source_hits"]],
+            returns=[(line, disp) for line, disp in data["returns"]],
+            arith=[UnitArith.from_dict(a) for a in data["arith"]],
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases (raw text), methods and attribute types."""
+
+    name: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+            "attr_types": dict(self.attr_types),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassInfo":
+        return cls(
+            name=data["name"],
+            line=data["line"],
+            bases=list(data["bases"]),
+            methods=list(data["methods"]),
+            attr_types=dict(data["attr_types"]),
+        )
+
+
+@dataclass
+class DriftRegion:
+    """One side-region of a declared dual-implementation pair."""
+
+    pair: str
+    side: str  # "impl" | "ref"
+    line: int
+    end_line: int
+    hash: str
+    label: str = ""  # attached function qualname, if def-attached
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pair": self.pair,
+            "side": self.side,
+            "line": self.line,
+            "end_line": self.end_line,
+            "hash": self.hash,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DriftRegion":
+        return cls(
+            pair=data["pair"],
+            side=data["side"],
+            line=data["line"],
+            end_line=data["end_line"],
+            hash=data["hash"],
+            label=data["label"],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The cached per-module analysis unit."""
+
+    rel_path: str
+    module: str  # dotted name, e.g. "repro.flow.session"
+    sha256: str
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    symbol_aliases: Dict[str, str] = field(default_factory=dict)
+    regions: List[DriftRegion] = field(default_factory=list)
+    waivers: Dict[int, List[str]] = field(default_factory=dict)
+    marker_errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rel_path": self.rel_path,
+            "module": self.module,
+            "sha256": self.sha256,
+            "functions": {
+                k: v.to_dict() for k, v in sorted(self.functions.items())
+            },
+            "classes": {
+                k: v.to_dict() for k, v in sorted(self.classes.items())
+            },
+            "module_aliases": dict(self.module_aliases),
+            "symbol_aliases": dict(self.symbol_aliases),
+            "regions": [r.to_dict() for r in self.regions],
+            "waivers": {
+                str(line): rules for line, rules in sorted(self.waivers.items())
+            },
+            "marker_errors": [[line, msg] for line, msg in self.marker_errors],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            rel_path=data["rel_path"],
+            module=data["module"],
+            sha256=data["sha256"],
+            functions={
+                k: FunctionInfo.from_dict(v)
+                for k, v in data["functions"].items()
+            },
+            classes={
+                k: ClassInfo.from_dict(v) for k, v in data["classes"].items()
+            },
+            module_aliases=dict(data["module_aliases"]),
+            symbol_aliases=dict(data["symbol_aliases"]),
+            regions=[DriftRegion.from_dict(r) for r in data["regions"]],
+            waivers={
+                int(line): list(rules)
+                for line, rules in data["waivers"].items()
+            },
+            marker_errors=[
+                (line, msg) for line, msg in data["marker_errors"]
+            ],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+
+
+def module_name_of(rel_path: str) -> str:
+    """Dotted module name for a /-separated relative path.
+
+    A leading ``src/`` layout component is dropped so paths resolve to
+    importable names (``src/repro/flow/session.py`` →
+    ``repro.flow.session``); ``__init__.py`` names the package itself.
+    """
+    parts = rel_path.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+def dotted_display(node: ast.expr) -> Optional[str]:
+    """Flatten ``a.b.c`` chains rooted at a Name to a dotted string."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+_GENERIC_WRAPPERS = ("Optional", "Final", "ClassVar")
+_CONTAINER_PREFIXES = (
+    "List", "Dict", "Tuple", "Set", "FrozenSet", "Sequence", "Iterable",
+    "Iterator", "Mapping", "MutableMapping", "Callable", "Union", "Type",
+    "list", "dict", "tuple", "set", "frozenset", "type",
+)
+
+
+def strip_type_text(text: Optional[str]) -> Optional[str]:
+    """Reduce an annotation to a plain (possibly dotted) class name.
+
+    ``Optional["FlowLink"]`` → ``FlowLink``; containers and unions are
+    out of scope and collapse to ``None``.
+    """
+    if text is None:
+        return None
+    text = text.strip().strip("'\"")
+    for wrapper in _GENERIC_WRAPPERS:
+        prefix = wrapper + "["
+        if text.startswith(prefix) and text.endswith("]"):
+            return strip_type_text(text[len(prefix):-1])
+    if "[" in text or "|" in text:
+        return None
+    if not text or not all(
+        part.isidentifier() for part in text.split(".")
+    ):
+        return None
+    if text.split(".")[-1][:1].islower():
+        return None
+    if text.startswith(_CONTAINER_PREFIXES) and "." not in text:
+        return None
+    return text
+
+
+def _region_hash(lines: List[str]) -> Optional[str]:
+    """Normalized-AST hash of a source region.
+
+    The region is dedented and wrapped in a synthetic function + loop
+    (so fragments containing ``return``/``break``/``continue`` parse),
+    docstrings are dropped, and the AST is dumped without location
+    attributes — comments, blank lines and pure re-formatting therefore
+    do not change the hash, while any semantic edit does.
+    """
+    body = textwrap.dedent("\n".join(lines))
+    wrapped = "def _region():\n    while True:\n" + textwrap.indent(
+        body, " " * 8
+    )
+    try:
+        tree = ast.parse(wrapped)
+    except SyntaxError:
+        return None
+    _strip_docstrings(tree)
+    dump = ast.dump(tree, include_attributes=False)
+    return hashlib.sha256(dump.encode("utf-8")).hexdigest()[:24]
+
+
+def _strip_docstrings(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        body = getattr(node, "body", None)
+        if not isinstance(body, list) or not body:
+            continue
+        first = body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            del body[0]
+
+
+# ---------------------------------------------------------------------------
+# Drift-marker parsing
+
+_PAIR_PATTERN = re.compile(
+    r"#\s*drift:\s*pair\(([A-Za-z0-9_.-]+)\)\s*(impl|ref)\s*$"
+)
+_END_PATTERN = re.compile(r"#\s*drift:\s*end\s*$")
+_ANY_DRIFT = re.compile(r"#\s*drift:")
+
+
+def _extract_regions(
+    source: str, tree: ast.Module
+) -> Tuple[List[DriftRegion], List[Tuple[int, str]]]:
+    """Parse ``# drift: pair(name) side`` markers into regions.
+
+    A marker on the comment line(s) immediately above a ``def`` (or its
+    decorators) covers the whole function; a marker anywhere else opens
+    a block region closed by ``# drift: end``.  Multiple markers may
+    stack on one function.
+    """
+    lines = source.splitlines()
+    errors: List[Tuple[int, str]] = []
+    regions: List[DriftRegion] = []
+
+    # Map def start lines (first decorator or the def itself) to
+    # (qualname, def_line, end_line).
+    def_spans: Dict[int, Tuple[str, int, int]] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                start = child.lineno
+                if child.decorator_list:
+                    start = min(d.lineno for d in child.decorator_list)
+                def_spans[start] = (
+                    qual, child.lineno, child.end_lineno or child.lineno
+                )
+                visit(child, qual + ".")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+
+    visit(tree, "")
+
+    # Markers only count inside real comment tokens: marker-looking
+    # text in a docstring or a string literal is documentation, not a
+    # declaration.
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.strip()
+    except tokenize.TokenError:  # pragma: no cover - file already parsed
+        pass
+
+    pending: List[Tuple[int, str, str]] = []  # (line, pair, side)
+    open_block: Optional[Tuple[int, str, str]] = None
+    for lineno, text in enumerate(lines, start=1):
+        stripped = text.strip()
+        comment = comments.get(lineno, "")
+        if not _ANY_DRIFT.search(comment):
+            if open_block is not None:
+                continue
+            if not pending:
+                continue
+            if not stripped or stripped.startswith("#"):
+                continue
+            span = def_spans.get(lineno)
+            if span is not None:
+                qual, def_line, end_line = span
+                for marker_line, pair, side in pending:
+                    fragment = lines[def_line - 1:end_line]
+                    digest = _region_hash(fragment)
+                    if digest is None:
+                        errors.append(
+                            (marker_line, f"unparseable region for pair "
+                             f"'{pair}'")
+                        )
+                        continue
+                    regions.append(
+                        DriftRegion(
+                            pair=pair,
+                            side=side,
+                            line=def_line,
+                            end_line=end_line,
+                            hash=digest,
+                            label=qual,
+                        )
+                    )
+                pending = []
+            else:
+                # Markers not attached to a def open a block region;
+                # only a single marker may open one.
+                if len(pending) > 1:
+                    for marker_line, pair, _side in pending[1:]:
+                        errors.append(
+                            (marker_line,
+                             f"stacked block markers for pair '{pair}'; "
+                             "only one block region may open at a time")
+                        )
+                open_block = pending[0]
+                pending = []
+            continue
+
+        if stripped != comment:
+            errors.append(
+                (lineno, "drift markers must be standalone comment lines")
+            )
+            continue
+        match = _PAIR_PATTERN.search(comment)
+        if match:
+            if open_block is not None:
+                errors.append(
+                    (lineno, "drift marker inside an open block region "
+                     f"(opened at line {open_block[0]})")
+                )
+                continue
+            pending.append((lineno, match.group(1), match.group(2)))
+            continue
+        if _END_PATTERN.search(comment):
+            if open_block is None:
+                errors.append((lineno, "'# drift: end' without an open "
+                               "block region"))
+                continue
+            start_line, pair, side = open_block
+            fragment = lines[start_line:lineno - 1]
+            digest = _region_hash(fragment)
+            if digest is None:
+                errors.append(
+                    (start_line, f"unparseable region for pair '{pair}'")
+                )
+            else:
+                regions.append(
+                    DriftRegion(
+                        pair=pair,
+                        side=side,
+                        line=start_line,
+                        end_line=lineno,
+                        hash=digest,
+                    )
+                )
+            open_block = None
+            continue
+        errors.append((lineno, "unrecognised drift marker (expected "
+                       "'# drift: pair(<name>) impl|ref' or "
+                       "'# drift: end')"))
+
+    if open_block is not None:
+        errors.append(
+            (open_block[0],
+             f"block region for pair '{open_block[1]}' never closed "
+             "(missing '# drift: end')")
+        )
+    for marker_line, pair, _side in pending:
+        errors.append(
+            (marker_line,
+             f"dangling drift marker for pair '{pair}' (no def or block "
+             "follows)")
+        )
+    return regions, errors
+
+
+# ---------------------------------------------------------------------------
+# Import tracking (relative-import aware)
+
+
+class _Imports(ast.NodeVisitor):
+    def __init__(self, module: str, is_package: bool) -> None:
+        self.module = module
+        self.is_package = is_package
+        self.module_aliases: Dict[str, str] = {}  # alias -> dotted module
+        self.symbol_aliases: Dict[str, str] = {}  # name -> module.symbol
+
+    def _resolve_relative(self, level: int, target: Optional[str]) -> str:
+        parts = self.module.split(".") if self.module else []
+        if not self.is_package:
+            parts = parts[:-1]
+        if level > 1:
+            parts = parts[: len(parts) - (level - 1)]
+        if target:
+            parts = parts + target.split(".")
+        return ".".join(parts)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.module_aliases[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = (
+            self._resolve_relative(node.level, node.module)
+            if node.level
+            else (node.module or "")
+        )
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.symbol_aliases[local] = f"{base}.{alias.name}"
+
+
+# ---------------------------------------------------------------------------
+# Function-body extraction
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collects calls, source hits and unit facts for one function.
+
+    Nested functions and lambdas are flattened into their enclosing
+    function: a wall-clock read inside a local helper is still a read
+    performed by the function that defines (and presumably calls) it.
+    """
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        imports: _Imports,
+        local_types: Dict[str, str],
+        class_attr_sink: Optional[Dict[str, str]],
+    ) -> None:
+        self.info = info
+        self.imports = imports
+        self.local_types = local_types
+        self.class_attr_sink = class_attr_sink
+
+    # -- canonicalization --------------------------------------------------
+
+    def _canonical(self, raw: str) -> str:
+        parts = raw.split(".")
+        root = parts[0]
+        if root in self.imports.module_aliases:
+            parts[0] = self.imports.module_aliases[root]
+        elif root in self.imports.symbol_aliases:
+            parts[0] = self.imports.symbol_aliases[root]
+        return ".".join(parts)
+
+    def _classify_source(self, canonical: str) -> Optional[Tuple[str, str]]:
+        if canonical in _WALL_CLOCK_CALLS:
+            return WALL_CLOCK, canonical
+        parts = canonical.split(".")
+        if (
+            parts[0] == "random"
+            and len(parts) == 2
+            and parts[1] not in _RANDOM_ALLOWED_ATTRS
+        ):
+            return GLOBAL_RNG, canonical
+        if (
+            len(parts) >= 2
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and (len(parts) < 3 or parts[2] not in _NUMPY_RANDOM_ALLOWED)
+        ):
+            return GLOBAL_RNG, canonical
+        if canonical in _ENV_CALLS:
+            return ENV_READ, canonical
+        if canonical in _ENTROPY_CALLS or parts[0] == "secrets":
+            return OS_ENTROPY, canonical
+        return None
+
+    # -- type bookkeeping --------------------------------------------------
+
+    def _record_assign_type(self, target: ast.expr, value: ast.expr) -> None:
+        type_text: Optional[str] = None
+        if isinstance(value, ast.Call):
+            callee = dotted_display(value.func)
+            if callee is not None and callee.split(".")[-1][:1].isupper():
+                type_text = callee
+        elif isinstance(value, ast.Name):
+            type_text = strip_type_text(
+                self.info.param_annotations.get(value.id)
+            )
+        if type_text is None:
+            return
+        if isinstance(target, ast.Name):
+            self.local_types.setdefault(target.id, type_text)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self.class_attr_sink is not None
+        ):
+            self.class_attr_sink.setdefault(target.attr, type_text)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_assign_type(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        type_text = strip_type_text(ast.unparse(node.annotation))
+        if type_text is not None:
+            if isinstance(node.target, ast.Name):
+                self.local_types.setdefault(node.target.id, type_text)
+            elif (
+                isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"
+                and self.class_attr_sink is not None
+            ):
+                self.class_attr_sink.setdefault(node.target.attr, type_text)
+        self.generic_visit(node)
+
+    # -- the interesting nodes ---------------------------------------------
+
+    @staticmethod
+    def _arg_display(node: ast.expr) -> Optional[str]:
+        return dotted_display(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        raw = dotted_display(node.func)
+        if raw is not None:
+            site = CallSite(
+                line=node.lineno,
+                raw=raw,
+                args=[self._arg_display(a) for a in node.args],
+                kwargs={
+                    kw.arg: self._arg_display(kw.value)
+                    for kw in node.keywords
+                    if kw.arg is not None
+                },
+            )
+            if isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                if isinstance(recv, ast.Name):
+                    if recv.id == "self":
+                        site.recv_kind = "self"
+                    elif recv.id in self.local_types:
+                        site.recv_kind = "var"
+                        site.recv_info = self.local_types[recv.id]
+                elif (
+                    isinstance(recv, ast.Attribute)
+                    and isinstance(recv.value, ast.Name)
+                    and recv.value.id == "self"
+                ):
+                    site.recv_kind = "selfattr"
+                    site.recv_info = recv.attr
+            self.info.calls.append(site)
+            classified = self._classify_source(self._canonical(raw))
+            if classified is not None:
+                category, canonical = classified
+                self.info.source_hits.append(
+                    SourceHit(
+                        line=node.lineno, category=category, call=canonical
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``os.environ["X"]`` reads the environment without a call.
+        raw = dotted_display(node.value)
+        if raw is not None and self._canonical(raw) in (
+            "os.environ",
+            "os.environb",
+        ):
+            self.info.source_hits.append(
+                SourceHit(
+                    line=node.lineno,
+                    category=ENV_READ,
+                    call=self._canonical(raw),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.info.returns.append(
+                (node.lineno, dotted_display(node.value))
+            )
+        self.generic_visit(node)
+
+    def _record_arith(
+        self, node: ast.AST, left: ast.expr, right: ast.expr, op: str
+    ) -> None:
+        call_node: Optional[ast.Call] = None
+        other: Optional[ast.expr] = None
+        if isinstance(left, ast.Call) and not isinstance(right, ast.Call):
+            call_node, other = left, right
+        elif isinstance(right, ast.Call) and not isinstance(left, ast.Call):
+            call_node, other = right, left
+        if call_node is None or other is None:
+            return
+        raw = dotted_display(call_node.func)
+        display = dotted_display(other)
+        if raw is None or display is None:
+            return
+        site = CallSite(line=call_node.lineno, raw=raw)
+        if isinstance(call_node.func, ast.Attribute):
+            recv = call_node.func.value
+            if isinstance(recv, ast.Name):
+                if recv.id == "self":
+                    site.recv_kind = "self"
+                elif recv.id in self.local_types:
+                    site.recv_kind = "var"
+                    site.recv_info = self.local_types[recv.id]
+            elif (
+                isinstance(recv, ast.Attribute)
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id == "self"
+            ):
+                site.recv_kind = "selfattr"
+                site.recv_info = recv.attr
+        self.info.arith.append(
+            UnitArith(
+                line=getattr(node, "lineno", call_node.lineno),
+                call=site,
+                other=display,
+                op=op,
+            )
+        )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Add):
+            self._record_arith(node, node.left, node.right, "+")
+        elif isinstance(node.op, ast.Sub):
+            self._record_arith(node, node.left, node.right, "-")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for left, right in zip(operands, operands[1:]):
+            self._record_arith(node, left, right, "cmp")
+        self.generic_visit(node)
+
+    # Nested defs are flattened into this scanner (see class docstring).
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.generic_visit(node)
+
+
+def _function_info(
+    node: ast.AST,
+    qualname: str,
+    class_name: Optional[str],
+) -> FunctionInfo:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = node.args
+    ordered = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    params = [a.arg for a in ordered]
+    annotations = {
+        a.arg: ast.unparse(a.annotation)
+        for a in ordered
+        if a.annotation is not None
+    }
+    return FunctionInfo(
+        name=node.name,
+        qualname=qualname,
+        line=node.lineno,
+        end_line=node.end_lineno or node.lineno,
+        class_name=class_name,
+        params=params,
+        param_annotations=annotations,
+    )
+
+
+def extract_module(
+    source: str, rel_path: str, sha256: str = ""
+) -> ModuleSummary:
+    """Parse one file into its :class:`ModuleSummary`.
+
+    Raises ``SyntaxError`` if the file does not parse — callers turn
+    that into an R100 finding.
+    """
+    module = module_name_of(rel_path)
+    tree = ast.parse(source, filename=rel_path)
+    is_package = rel_path.replace("\\", "/").endswith("__init__.py")
+
+    imports = _Imports(module, is_package)
+    imports.visit(tree)
+
+    summary = ModuleSummary(
+        rel_path=rel_path,
+        module=module,
+        sha256=sha256,
+        module_aliases=dict(imports.module_aliases),
+        symbol_aliases=dict(imports.symbol_aliases),
+        waivers={
+            line: sorted(rules)
+            for line, rules in parse_waivers(source).items()
+        },
+    )
+    regions, marker_errors = _extract_regions(source, tree)
+    summary.regions = regions
+    summary.marker_errors = marker_errors
+
+    module_info = FunctionInfo(
+        name="<module>",
+        qualname="<module>",
+        line=1,
+        end_line=len(source.splitlines()) or 1,
+    )
+    summary.functions["<module>"] = module_info
+    module_scanner = _FunctionScanner(module_info, imports, {}, None)
+
+    def scan_function(
+        node: ast.AST, qualname: str, class_info: Optional[ClassInfo]
+    ) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        info = _function_info(
+            node, qualname, class_info.name if class_info else None
+        )
+        local_types = {
+            name: stripped
+            for name, text in info.param_annotations.items()
+            if (stripped := strip_type_text(text)) is not None
+        }
+        if class_info is not None:
+            local_types.setdefault("self", class_info.name)
+        sink = class_info.attr_types if class_info is not None else None
+        scanner = _FunctionScanner(info, imports, local_types, sink)
+        for statement in node.body:
+            scanner.visit(statement)
+        summary.functions[qualname] = info
+
+    def walk_body(
+        body: List[ast.stmt],
+        prefix: str,
+        class_info: Optional[ClassInfo],
+    ) -> None:
+        for statement in body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                qualname = f"{prefix}{statement.name}"
+                if class_info is not None:
+                    class_info.methods.append(statement.name)
+                scan_function(statement, qualname, class_info)
+            elif isinstance(statement, ast.ClassDef):
+                info = ClassInfo(
+                    name=f"{prefix}{statement.name}",
+                    line=statement.lineno,
+                    bases=[
+                        base
+                        for base_node in statement.bases
+                        if (base := dotted_display(base_node)) is not None
+                    ],
+                )
+                # Class-level annotations type the attributes
+                # (dataclass fields included).
+                for item in statement.body:
+                    if isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name
+                    ):
+                        stripped = strip_type_text(
+                            ast.unparse(item.annotation)
+                        )
+                        if stripped is not None:
+                            info.attr_types[item.target.id] = stripped
+                summary.classes[info.name] = info
+                walk_body(statement.body, f"{info.name}.", info)
+            else:
+                module_scanner.visit(statement)
+
+    walk_body(tree.body, "", None)
+    return summary

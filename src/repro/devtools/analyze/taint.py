@@ -1,0 +1,137 @@
+"""R101 — transitive nondeterminism taint.
+
+Seeds: wall-clock reads, global-RNG draws, environment reads and OS
+entropy (collected per function by :mod:`.symbols`).  The analysis
+walks the call graph breadth-first from the configured simulation
+roots (``Simulator.run``, ``FlowCall``, ``_BatchFlowRun``,
+``run_call`` by default); every reachable function containing a source
+hit yields one finding per distinct source call, carrying the full
+root→sink call chain.
+
+This replaces the local-only view of lint rules R001/R002: a
+``time.time()`` two calls below the event loop is invisible to a
+single-function linter but still breaks golden determinism.  Existing
+``# lint: ok(R001)`` / ``ok(R002)`` waivers on the source line are
+honoured (see ``WAIVER_ALIASES``), as are per-rule path excludes from
+``[tool.repro-analyze]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.analyze.callgraph import ProgramIndex
+from repro.devtools.analyze.model import Finding, Location
+from repro.devtools.diagnostics import Severity
+
+#: ``(rule, module, line) -> waived?`` — supplied by the engine, which
+#: owns the waiver tables and the rule-alias mapping.
+WaiverCheck = Callable[[str, str, int], bool]
+#: ``(rule, rel_path) -> excluded?`` from ``[tool.repro-analyze]``.
+ExcludeCheck = Callable[[str, str], bool]
+
+#: Human wording per source category.
+_CATEGORY_TEXT = {
+    "wall-clock": "wall-clock read",
+    "global-rng": "global RNG draw",
+    "env-read": "environment read",
+    "os-entropy": "OS entropy read",
+}
+
+
+def reachable_from(
+    index: ProgramIndex, roots: Sequence[str]
+) -> Dict[str, Optional[Tuple[str, int]]]:
+    """BFS reachability with parent pointers.
+
+    Returns ``{function: (parent, call line) | None-for-roots}`` for
+    every function reachable from ``roots``.  Iteration order is made
+    deterministic by visiting sorted roots and per-function edge lists
+    in recorded order.
+    """
+    parents: Dict[str, Optional[Tuple[str, int]]] = {}
+    queue: List[str] = []
+    for root in sorted(set(roots)):
+        if root in index.functions and root not in parents:
+            parents[root] = None
+            queue.append(root)
+    while queue:
+        current = queue.pop(0)
+        for edge in index.edges.get(current, []):
+            if edge.callee in parents:
+                continue
+            parents[edge.callee] = (current, edge.line)
+            queue.append(edge.callee)
+    return parents
+
+
+def _chain_to(
+    index: ProgramIndex,
+    parents: Dict[str, Optional[Tuple[str, int]]],
+    sink: str,
+) -> Tuple[Location, ...]:
+    """Root→sink chain of :class:`Location` steps."""
+    hops: List[Tuple[str, Optional[int]]] = []  # (fn, line called from)
+    current: Optional[str] = sink
+    call_line: Optional[int] = None
+    while current is not None:
+        hops.append((current, call_line))
+        parent = parents.get(current)
+        if parent is None:
+            break
+        current, call_line = parent[0], parent[1]
+    hops.reverse()
+    chain: List[Location] = []
+    for position, (fn, _line) in enumerate(hops):
+        file, line, label = index.location_of(fn)
+        if position + 1 < len(hops):
+            next_call_line = hops[position + 1][1]
+            if next_call_line is not None:
+                line = next_call_line
+        chain.append(Location(file=file, line=line, label=label))
+    return tuple(chain)
+
+
+def run_taint(
+    index: ProgramIndex,
+    roots: Sequence[str],
+    is_waived: WaiverCheck,
+    is_excluded: ExcludeCheck,
+) -> List[Finding]:
+    """Produce R101 findings for every reachable, unwaived source."""
+    parents = reachable_from(index, roots)
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for fn in sorted(parents):
+        summary, info = index.functions[fn]
+        if not info.source_hits:
+            continue
+        if is_excluded("R101", summary.rel_path):
+            continue
+        chain = _chain_to(index, parents, fn)
+        for hit in info.source_hits:
+            key = (summary.rel_path, hit.line, hit.call)
+            if key in seen:
+                continue
+            seen.add(key)
+            if is_waived("R101", summary.module, hit.line):
+                continue
+            category = _CATEGORY_TEXT.get(hit.category, hit.category)
+            root_label = chain[0].label if chain else "?"
+            findings.append(
+                Finding(
+                    file=summary.rel_path,
+                    line=hit.line,
+                    rule="R101",
+                    message=(
+                        f"{category} `{hit.call}` in "
+                        f"`{summary.module}.{info.qualname}` is reachable "
+                        f"from simulation root `{root_label}` "
+                        f"({len(chain) - 1} call(s) deep); simulated code "
+                        "must be deterministic"
+                    ),
+                    severity=Severity.ERROR,
+                    chain=chain,
+                )
+            )
+    return findings

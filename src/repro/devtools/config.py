@@ -155,3 +155,87 @@ def load_config(pyproject: Optional[Path]) -> LintConfig:
     if not isinstance(section, dict):
         return LintConfig()
     return config_from_dict(section)
+
+
+# ---------------------------------------------------------------------------
+# [tool.repro-analyze] — whole-program analyzer (repro analyze)
+
+
+#: Simulation cores the taint pass (R101) walks from.  A class spec
+#: roots every method it defines.
+DEFAULT_ANALYZE_ROOTS = [
+    "repro.simulation.simulator.Simulator.run",
+    "repro.flow.session.FlowCall",
+    "repro.flow.batch._BatchFlowRun",
+    "repro.core.api.run_call",
+]
+DEFAULT_ANALYZE_EXCLUDE: Dict[str, List[str]] = {
+    # Same deliberate wall-clock surfaces the linter excludes.
+    "R101": [
+        "src/repro/simulation/profiling.py",
+        "benchmarks/*",
+    ],
+}
+
+
+@dataclass
+class AnalyzeConfig:
+    """Resolved ``[tool.repro-analyze]`` configuration."""
+
+    paths: List[str] = field(default_factory=lambda: list(DEFAULT_PATHS))
+    roots: List[str] = field(
+        default_factory=lambda: list(DEFAULT_ANALYZE_ROOTS)
+    )
+    disable: List[str] = field(default_factory=list)
+    warn: List[str] = field(default_factory=list)
+    exclude: Dict[str, List[str]] = field(
+        default_factory=lambda: {
+            k: list(v) for k, v in DEFAULT_ANALYZE_EXCLUDE.items()
+        }
+    )
+    units: str = "units.toml"
+    baseline: str = ".repro-analyze-baseline.json"
+    cache: str = ".repro-analyze-cache.json"
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return rule_id not in self.disable
+
+    def rule_excluded(self, rule_id: str, rel_path: str) -> bool:
+        return any(
+            _path_match(rel_path, pattern)
+            for pattern in self.exclude.get(rule_id, [])
+        )
+
+
+def analyze_config_from_dict(data: Dict[str, Any]) -> AnalyzeConfig:
+    """Build an :class:`AnalyzeConfig` from ``[tool.repro-analyze]``."""
+    config = AnalyzeConfig()
+    if "paths" in data:
+        config.paths = _as_str_list(data["paths"])
+    if "roots" in data:
+        config.roots = _as_str_list(data["roots"])
+    if "disable" in data:
+        config.disable = _as_str_list(data["disable"])
+    if "warn" in data:
+        config.warn = _as_str_list(data["warn"])
+    if "exclude" in data and isinstance(data["exclude"], dict):
+        config.exclude = {
+            str(rule): _as_str_list(patterns)
+            for rule, patterns in data["exclude"].items()
+        }
+    for key in ("units", "baseline", "cache"):
+        if key in data:
+            setattr(config, key, str(data[key]))
+    return config
+
+
+def load_analyze_config(pyproject: Optional[Path]) -> AnalyzeConfig:
+    """Load ``[tool.repro-analyze]`` from ``pyproject``, else defaults."""
+    if pyproject is None or _toml is None or not pyproject.is_file():
+        return AnalyzeConfig()
+    with open(pyproject, "rb") as handle:
+        data = _toml.load(handle)
+    section = data.get("tool", {}).get("repro-analyze")
+    if not isinstance(section, dict):
+        return AnalyzeConfig()
+    return analyze_config_from_dict(section)

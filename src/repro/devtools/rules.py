@@ -576,6 +576,12 @@ class ClosureCaptureRule(Rule):
     it slips through serial tests.  Lambdas scheduled on the event
     queue allocate one closure per packet; PR 3 removed exactly those,
     and ``Event.arg`` exists so they stay gone.
+
+    Wrapping the closure in :func:`functools.partial` does not launder
+    it: the partial object pickles only if everything it captures
+    does, and on the event queue it still allocates per event — so
+    ``partial(lambda: ...)`` and ``partial(nested_fn, x)`` are flagged
+    exactly like the bare forms.
     """
 
     rule_id = "R006"
@@ -605,6 +611,31 @@ class ClosureCaptureRule(Rule):
     def _is_nested_function(self, name: str) -> bool:
         return any(name in scope for scope in self._nested_functions)
 
+    @staticmethod
+    def _is_partial(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "partial"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "partial"
+        return False
+
+    def _partial_closure(self, node: ast.expr) -> Optional[str]:
+        """Describe the closure a ``partial(...)`` wraps, if any."""
+        if not (self._is_partial(node) and isinstance(node, ast.Call)):
+            return None
+        inner = list(node.args) + [kw.value for kw in node.keywords]
+        for argument in inner:
+            if isinstance(argument, ast.Lambda):
+                return "a lambda"
+            if isinstance(argument, ast.Name) and self._is_nested_function(
+                argument.id
+            ):
+                return f"nested function '{argument.id}'"
+        return None
+
     def visit_Call(self, node: ast.Call) -> None:
         method = None
         if isinstance(node.func, ast.Attribute):
@@ -629,6 +660,15 @@ class ClosureCaptureRule(Rule):
                         f"'{method}()' cannot be pickled into a worker "
                         "process",
                     )
+                else:
+                    wrapped = self._partial_closure(argument)
+                    if wrapped is not None:
+                        self.report(
+                            node,
+                            f"partial() wrapping {wrapped} passed to "
+                            f"'{method}()' cannot be pickled into a "
+                            "worker process",
+                        )
         elif method in _SCHEDULE_METHODS or method == "Event":
             for argument in arguments:
                 if isinstance(argument, ast.Lambda):
@@ -637,6 +677,15 @@ class ClosureCaptureRule(Rule):
                         f"lambda into '{method}()' allocates a closure per "
                         "event; use a bound method plus Event.arg",
                     )
+                else:
+                    wrapped = self._partial_closure(argument)
+                    if wrapped is not None:
+                        self.report(
+                            node,
+                            f"partial() wrapping {wrapped} into "
+                            f"'{method}()' allocates per event; use a "
+                            "bound method plus Event.arg",
+                        )
         self.generic_visit(node)
 
 

@@ -655,6 +655,7 @@ class _BatchFlowRun:
 
     # -- the hot loop ------------------------------------------------------
 
+    # drift: pair(flow-batch) impl
     def run(self) -> List[Dict[str, Any]]:
         config = self.config
         lanes = self.lanes
@@ -1387,6 +1388,7 @@ class _BatchFlowRun:
 
     # -- step helpers ------------------------------------------------------
 
+    # drift: pair(flow-batch) impl
     def _watchdog(
         self,
         now: float,
@@ -1439,6 +1441,7 @@ class _BatchFlowRun:
                     if i in es:
                         self.path_events[i].append((now, pid, "enabled"))
 
+    # drift: pair(flow-batch) impl
     def _cm_schedule(
         self, now: float, usable: List[B1], pids: List[int]
     ) -> None:
@@ -1485,6 +1488,7 @@ class _BatchFlowRun:
         for p, pid in enumerate(pids):
             lanes[p].member = sending & (self.pinned == pid)
 
+    # drift: pair(flow-batch) impl
     def _allocate(
         self,
         enc_mask: B1,
@@ -1566,6 +1570,7 @@ class _BatchFlowRun:
             lane.step_packets = np.where(positive, -((-sb) // mtu), 0)
             lane.step_key = key & positive
 
+    # drift: pair(flow-batch) impl
     def _hard_drop(self, now: float, idx: I8) -> None:
         """Drop the in-flight frame for the listed cells."""
         blocked = self.blocked
@@ -1575,6 +1580,7 @@ class _BatchFlowRun:
         blocked[idx] = True
         self.drops[idx] += 1
 
+    # drift: pair(flow-batch) impl
     def _finish(
         self,
         step: int,

@@ -123,6 +123,7 @@ class SteadyStateGcc:
         self._capacity_estimate: Optional[float] = None
         self._loss_report_accum = 0.0
 
+    # drift: pair(flow-controller) ref
     def target(self) -> float:
         """The per-path sending rate ``S_i`` (bps)."""
         rate = self.rate
@@ -167,6 +168,7 @@ class SteadyStateGcc:
         alpha = 1.0 - math.exp(-dt / DELIVERED_WINDOW)
         self.offered_avg += alpha * (rate_bps - self.offered_avg)
 
+    # drift: pair(flow-controller) ref
     def advance(
         self,
         now: float,
@@ -221,6 +223,7 @@ class SteadyStateGcc:
         self.rate = max(self.rate * scaled, self._min_rate)
         self.loss_rate = max(self.loss_rate * scaled, self._min_rate)
 
+    # drift: pair(flow-controller) ref
     def update(
         self,
         now: float,

@@ -513,6 +513,8 @@ class FlowCall:
 
     # -- main loop ---------------------------------------------------------
 
+    # drift: pair(flow-single-stream) impl
+    # drift: pair(flow-batch) ref
     def run(self) -> CallResult:
         """Advance the call one frame interval at a time.
 
@@ -665,6 +667,7 @@ class FlowCall:
                 if state.silence != 0.0 or cap <= 0.0 or state.feedback_dark:
                     self._update_watchdog(now, dt, state, cap)
                 # SteadyStateGcc.target, inlined (keep in sync).
+                # drift: pair(flow-controller) impl
                 ctrl = state.ctrl
                 tgt = ctrl.rate
                 lr = ctrl.loss_rate
@@ -673,6 +676,7 @@ class FlowCall:
                 if tgt < gcc_min:
                     tgt = gcc_min
                 state.tgt = tgt
+                # drift: end
                 if state.draining or state.disabled:
                     flagged = True
 
@@ -1250,6 +1254,7 @@ class FlowCall:
                         )
 
                 # -- SteadyStateGcc.advance + update, inlined --
+                # drift: pair(flow-controller) impl
                 srtt = ctrl.srtt
                 srtt += RTT_SMOOTHING * (srtt_sample - srtt)
                 ctrl.srtt = srtt
@@ -1352,6 +1357,7 @@ class FlowCall:
                     elif rate > gcc_max:
                         rate = gcc_max
                     ctrl.rate = rate
+                # drift: end
 
                 completion = (
                     (queue_delay if queue_delay < 4.0 else 4.0)
@@ -1522,6 +1528,7 @@ class FlowCall:
 
     # -- per-step helpers --------------------------------------------------
 
+    # drift: pair(flow-single-stream) ref
     def _encode_frame(
         self, stream: _StreamState, rate: float, rng: random.Random
     ) -> Tuple[int, bool]:
@@ -1546,6 +1553,7 @@ class FlowCall:
         size *= 1.0 + rng.uniform(-jitter, jitter)
         return max(int(size), _MIN_FRAME_BYTES), is_key
 
+    # drift: pair(flow-single-stream) ref
     def _allocate(
         self,
         size: int,
@@ -1577,6 +1585,7 @@ class FlowCall:
         allocation[send_paths[-1]] = size - assigned
         return allocation
 
+    # drift: pair(flow-single-stream) ref
     def _finish_frame(
         self,
         now: float,
@@ -1668,6 +1677,7 @@ class FlowCall:
         stream.last_render = render_time
         metrics.record_fcd(now, completion)
 
+    # drift: pair(flow-single-stream) ref
     def _drop_frame(
         self, now: float, ssrc: int, frame_id: int, reason: str
     ) -> None:

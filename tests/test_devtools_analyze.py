@@ -1,0 +1,1129 @@
+"""Tests for repro.devtools.analyze (repro analyze, rules R100-R103)."""
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.analyze.baseline import (
+    Baseline,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.devtools.analyze.callgraph import ProgramIndex
+from repro.devtools.analyze.engine import analyze_tree, main
+from repro.devtools.analyze.model import Finding, Location
+from repro.devtools.analyze.output import sarif_document
+from repro.devtools.analyze.symbols import (
+    extract_module,
+    module_name_of,
+    strip_type_text,
+)
+from repro.devtools.analyze.taint import reachable_from
+from repro.devtools.config import AnalyzeConfig
+from repro.devtools.diagnostics import Severity
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract(source, rel_path="pkg/mod.py"):
+    return extract_module(textwrap.dedent(source), rel_path)
+
+
+def build_index(files):
+    summaries = [
+        extract(source, rel_path) for rel_path, source in files.items()
+    ]
+    return ProgramIndex(summaries)
+
+
+def write_project(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+
+def analyze_project(tmp_path, files=None, roots=(), use_cache=False, **cfg):
+    if files:
+        write_project(tmp_path, files)
+    config = AnalyzeConfig()
+    config.paths = ["pkg"]
+    config.roots = list(roots)
+    config.exclude = {}
+    for key, value in cfg.items():
+        setattr(config, key, value)
+    return analyze_tree(
+        [str(tmp_path / "pkg")], config, base=tmp_path, use_cache=use_cache
+    )
+
+
+# ---------------------------------------------------------------------------
+# Symbol extraction
+
+
+class TestModuleNames:
+    def test_src_prefix_is_stripped(self):
+        assert module_name_of("src/repro/flow/session.py") == (
+            "repro.flow.session"
+        )
+
+    def test_init_names_the_package(self):
+        assert module_name_of("src/repro/flow/__init__.py") == "repro.flow"
+
+    def test_plain_package_path(self):
+        assert module_name_of("pkg/core.py") == "pkg.core"
+
+
+class TestStripTypeText:
+    def test_optional_and_quotes_unwrap(self):
+        assert strip_type_text('Optional["FlowLink"]') == "FlowLink"
+
+    def test_containers_collapse_to_none(self):
+        assert strip_type_text("List[FlowLink]") is None
+        assert strip_type_text("int | None") is None
+
+    def test_lowercase_names_are_not_classes(self):
+        assert strip_type_text("float") is None
+
+
+class TestExtraction:
+    def test_source_hits_by_category(self):
+        summary = extract(
+            """
+            import os
+            import time
+            import uuid
+            import numpy as np
+
+            def f():
+                a = time.time()
+                b = os.environ["HOME"]
+                c = os.getenv("SEED")
+                d = uuid.uuid4()
+                e = np.random.uniform()
+                return a, b, c, d, e
+            """
+        )
+        hits = summary.functions["f"].source_hits
+        categories = sorted(h.category for h in hits)
+        assert categories == [
+            "env-read", "env-read", "global-rng", "os-entropy", "wall-clock"
+        ]
+
+    def test_seeded_rng_is_not_a_source(self):
+        summary = extract(
+            """
+            import random
+
+            def f(rng):
+                r = random.Random(7)
+                return r.random() + rng.uniform(0, 1)
+            """
+        )
+        assert summary.functions["f"].source_hits == []
+
+    def test_nested_defs_flatten_into_enclosing_function(self):
+        summary = extract(
+            """
+            import time
+
+            def outer():
+                def inner():
+                    return time.time()
+                return inner()
+            """
+        )
+        assert "outer" in summary.functions
+        assert "inner" not in summary.functions
+        assert [h.call for h in summary.functions["outer"].source_hits] == [
+            "time.time"
+        ]
+
+    def test_waivers_recorded_per_line(self):
+        summary = extract(
+            """
+            import time
+
+            def f():
+                return time.time()  # lint: ok(R001)
+            """
+        )
+        assert summary.waivers == {5: ["R001"]}
+
+    def test_class_attr_types_from_init(self):
+        summary = extract(
+            """
+            class Engine:
+                pass
+
+            class Car:
+                def __init__(self, engine: Engine):
+                    self.engine = engine
+                    self.spare = Engine()
+            """
+        )
+        info = summary.classes["Car"]
+        assert info.attr_types["engine"] == "Engine"
+        assert info.attr_types["spare"] == "Engine"
+
+    def test_relative_import_resolution(self):
+        summary = extract(
+            """
+            from .link import FlowLink
+            from ..core import api
+            """,
+            rel_path="src/repro/flow/session.py",
+        )
+        assert summary.symbol_aliases["FlowLink"] == (
+            "repro.flow.link.FlowLink"
+        )
+        assert summary.symbol_aliases["api"] == "repro.core.api"
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            extract("def broken(:\n")
+
+
+# ---------------------------------------------------------------------------
+# Drift markers + region hashing
+
+
+class TestDriftMarkers:
+    def test_def_attached_marker_covers_function(self):
+        summary = extract(
+            """
+            # drift: pair(demo) impl
+            def f(x):
+                return x + 1
+            """
+        )
+        [region] = summary.regions
+        assert (region.pair, region.side, region.label) == (
+            "demo", "impl", "f"
+        )
+
+    def test_stacked_markers_declare_multiple_pairs(self):
+        summary = extract(
+            """
+            # drift: pair(one) impl
+            # drift: pair(two) ref
+            def f(x):
+                return x
+            """
+        )
+        assert sorted((r.pair, r.side) for r in summary.regions) == [
+            ("one", "impl"), ("two", "ref")
+        ]
+
+    def test_block_region(self):
+        summary = extract(
+            """
+            def f(x):
+                # drift: pair(demo) impl
+                y = x * 2
+                z = y + 1
+                # drift: end
+                return z
+            """
+        )
+        [region] = summary.regions
+        assert region.pair == "demo"
+        assert region.label == ""
+
+    def test_hash_ignores_comments_and_formatting(self):
+        a = extract(
+            """
+            # drift: pair(demo) impl
+            def f(x):
+                return x + 1
+            """
+        )
+        b = extract(
+            """
+            # drift: pair(demo) impl
+            def f(x):
+                # a comment, plus a reformat below
+                return (
+                    x + 1
+                )
+            """
+        )
+        assert a.regions[0].hash == b.regions[0].hash
+
+    def test_hash_changes_on_semantic_edit(self):
+        a = extract(
+            "# drift: pair(demo) impl\ndef f(x):\n    return x + 1\n"
+        )
+        b = extract(
+            "# drift: pair(demo) impl\ndef f(x):\n    return x + 2\n"
+        )
+        assert a.regions[0].hash != b.regions[0].hash
+
+    def test_marker_in_docstring_is_ignored(self):
+        summary = extract(
+            '''
+            def f():
+                """Docs mention # drift: pair(x) impl markers."""
+                return 1
+            '''
+        )
+        assert summary.regions == []
+        assert summary.marker_errors == []
+
+    def test_dangling_marker_is_an_error(self):
+        summary = extract("# drift: pair(demo) impl\nVALUE = 3\n")
+        assert summary.regions == []
+        assert any(
+            "block" in msg or "dangling" in msg
+            for _line, msg in summary.marker_errors
+        ) or summary.marker_errors
+
+    def test_unclosed_block_is_an_error(self):
+        summary = extract(
+            """
+            def f(x):
+                # drift: pair(demo) impl
+                y = x
+                return y
+            """
+        )
+        assert any(
+            "never closed" in msg for _l, msg in summary.marker_errors
+        )
+
+    def test_end_without_open_is_an_error(self):
+        summary = extract(
+            """
+            def f(x):
+                # drift: end
+                return x
+            """
+        )
+        assert any(
+            "without an open" in msg for _l, msg in summary.marker_errors
+        )
+
+    def test_trailing_marker_on_code_line_is_an_error(self):
+        summary = extract("x = 1  # drift: pair(demo) impl\n")
+        assert any(
+            "standalone" in msg for _l, msg in summary.marker_errors
+        )
+
+    def test_bad_side_keyword_is_an_error(self):
+        summary = extract("# drift: pair(demo) both\ndef f():\n    pass\n")
+        assert any(
+            "unrecognised" in msg for _l, msg in summary.marker_errors
+        )
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+
+
+GRAPH_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/base.py": """
+        class Base:
+            def step(self):
+                return self.helper()
+
+            def helper(self):
+                return 0
+    """,
+    "pkg/impl.py": """
+        from pkg.base import Base
+
+        class Impl(Base):
+            def helper(self):
+                return 1
+
+        def run():
+            worker = Impl()
+            return worker.step()
+    """,
+    "pkg/other.py": """
+        import time
+
+        from pkg import impl
+
+        def entry():
+            return impl.run()
+
+        def clock():
+            return time.time()
+
+        def registrar(sim):
+            sim.schedule(0.0, clock)
+    """,
+}
+
+
+class TestCallGraph:
+    def test_constructor_and_typed_receiver_resolve(self):
+        index = build_index(GRAPH_FILES)
+        edges = {
+            (e.callee, e.kind) for e in index.edges["pkg.impl.run"]
+        }
+        # Impl() -> no __init__ defined, so no edge; worker.step()
+        # resolves through the annotated-constructor local type.
+        assert ("pkg.base.Base.step", "call") in edges
+
+    def test_self_call_includes_subclass_override(self):
+        index = build_index(GRAPH_FILES)
+        callees = {
+            e.callee for e in index.edges["pkg.base.Base.step"]
+        }
+        assert "pkg.base.Base.helper" in callees
+        assert "pkg.impl.Impl.helper" in callees
+
+    def test_module_alias_call_resolves(self):
+        index = build_index(GRAPH_FILES)
+        callees = {e.callee for e in index.edges["pkg.other.entry"]}
+        assert callees == {"pkg.impl.run"}
+
+    def test_function_reference_argument_makes_ref_edge(self):
+        index = build_index(GRAPH_FILES)
+        ref = [
+            e for e in index.edges["pkg.other.registrar"]
+            if e.kind == "ref"
+        ]
+        assert [e.callee for e in ref] == ["pkg.other.clock"]
+
+    def test_fallback_blocklist_suppresses_container_names(self):
+        index = build_index(
+            {
+                "pkg/a.py": """
+                    class Store:
+                        def get(self, key):
+                            return key
+
+                    def use(mapping):
+                        return mapping.get("x")
+                """,
+            }
+        )
+        assert index.edges["pkg.a.use"] == []
+
+    def test_fallback_links_unresolved_method_by_name(self):
+        index = build_index(
+            {
+                "pkg/a.py": """
+                    class Engine:
+                        def ignite(self):
+                            return 1
+
+                    def use(thing):
+                        return thing.ignite()
+                """,
+            }
+        )
+        [edge] = index.edges["pkg.a.use"]
+        assert (edge.callee, edge.kind) == (
+            "pkg.a.Engine.ignite", "fallback"
+        )
+
+    def test_reachability_with_parents(self):
+        index = build_index(GRAPH_FILES)
+        parents = reachable_from(index, ["pkg.other.entry"])
+        assert "pkg.impl.Impl.helper" in parents
+        assert "pkg.other.clock" not in parents
+
+    def test_class_root_covers_its_methods(self):
+        index = build_index(GRAPH_FILES)
+        roots, missing = index.resolve_roots(["pkg.base.Base"])
+        assert roots == ["pkg.base.Base.step", "pkg.base.Base.helper"]
+        assert missing == []
+
+    def test_unknown_root_reported(self):
+        index = build_index(GRAPH_FILES)
+        roots, missing = index.resolve_roots(["pkg.nothing.Here"])
+        assert roots == [] and missing == ["pkg.nothing.Here"]
+
+
+# ---------------------------------------------------------------------------
+# R101 taint
+
+
+TAINT_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/clocky.py": """
+        import time
+
+        def stamp():
+            return time.time()  # lint: ok(R001)
+    """,
+    "pkg/core.py": """
+        from pkg.clocky import stamp
+
+        class Sim:
+            def run(self):
+                return self.tick()
+
+            def tick(self):
+                return stamp()
+    """,
+}
+
+
+class TestTaint:
+    def test_waived_source_stays_silent(self, tmp_path):
+        result = analyze_project(
+            tmp_path, TAINT_FILES, roots=["pkg.core.Sim.run"]
+        )
+        assert [f for f in result.findings if f.rule == "R101"] == []
+
+    def test_deleting_waiver_reports_full_chain(self, tmp_path):
+        files = dict(TAINT_FILES)
+        files["pkg/clocky.py"] = files["pkg/clocky.py"].replace(
+            "  # lint: ok(R001)", ""
+        )
+        result = analyze_project(
+            tmp_path, files, roots=["pkg.core.Sim.run"]
+        )
+        [finding] = [f for f in result.findings if f.rule == "R101"]
+        assert finding.file == "pkg/clocky.py"
+        assert "time.time" in finding.message
+        labels = [step.label for step in finding.chain]
+        assert labels == [
+            "pkg.core.Sim.run", "pkg.core.Sim.tick", "pkg.clocky.stamp"
+        ]
+        # The chain's intermediate lines are the call sites.
+        assert finding.chain[0].file == "pkg/core.py"
+
+    def test_path_exclusion_suppresses(self, tmp_path):
+        files = dict(TAINT_FILES)
+        files["pkg/clocky.py"] = files["pkg/clocky.py"].replace(
+            "  # lint: ok(R001)", ""
+        )
+        result = analyze_project(
+            tmp_path,
+            files,
+            roots=["pkg.core.Sim.run"],
+            exclude={"R101": ["pkg/clocky.py"]},
+        )
+        assert [f for f in result.findings if f.rule == "R101"] == []
+
+    def test_unreachable_source_is_silent(self, tmp_path):
+        files = dict(TAINT_FILES)
+        files["pkg/clocky.py"] = files["pkg/clocky.py"].replace(
+            "  # lint: ok(R001)", ""
+        )
+        result = analyze_project(
+            tmp_path, files, roots=["pkg.core.Sim.tick"]
+        )
+        # tick is a root; stamp is reachable.  But rooting at an
+        # unrelated function must not reach it.
+        result2 = analyze_project(
+            tmp_path, files, roots=[]
+        )
+        assert any(f.rule == "R101" for f in result.findings)
+        assert not any(f.rule == "R101" for f in result2.findings)
+
+
+# ---------------------------------------------------------------------------
+# R102 units
+
+
+class TestUnits:
+    def test_suffix_mismatch_across_call(self, tmp_path):
+        result = analyze_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def wait(delay_s):
+                        return delay_s
+
+                    def go(timeout_ms):
+                        return wait(timeout_ms)
+                """,
+            },
+        )
+        [finding] = [f for f in result.findings if f.rule == "R102"]
+        assert "timeout_ms" in finding.message
+        assert "delay_s" in finding.message
+
+    def test_keyword_argument_checked(self, tmp_path):
+        result = analyze_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def wait(delay_s):
+                        return delay_s
+
+                    def go(timeout_ms):
+                        return wait(delay_s=timeout_ms)
+                """,
+            },
+        )
+        assert [f.rule for f in result.findings] == ["R102"]
+
+    def test_overlay_types_suffixless_parameter(self, tmp_path):
+        (tmp_path / "units.toml").write_text(
+            '[functions."pkg.mod.wait"]\nparams = { delay = "s" }\n'
+        )
+        result = analyze_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def wait(delay):
+                        return delay
+
+                    def go(timeout_ms):
+                        return wait(timeout_ms)
+                """,
+            },
+        )
+        assert [f.rule for f in result.findings] == ["R102"]
+
+    def test_variables_table_types_bare_names(self, tmp_path):
+        (tmp_path / "units.toml").write_text('[variables]\nnow = "s"\n')
+        result = analyze_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def record(stamp_ms):
+                        return stamp_ms
+
+                    def go(now):
+                        return record(now)
+                """,
+            },
+        )
+        assert [f.rule for f in result.findings] == ["R102"]
+
+    def test_return_unit_mismatch(self, tmp_path):
+        (tmp_path / "units.toml").write_text(
+            '[functions."pkg.mod.deadline"]\nreturns = "s"\n'
+        )
+        result = analyze_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def deadline(start_ms):
+                        return start_ms
+                """,
+            },
+        )
+        [finding] = result.findings
+        assert finding.rule == "R102" and "return" in finding.message
+
+    def test_arithmetic_with_call_result(self, tmp_path):
+        result = analyze_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def interval_ms():
+                        return 20
+
+                    def go(budget_s):
+                        return interval_ms() + budget_s
+                """,
+            },
+        )
+        [finding] = [f for f in result.findings if f.rule == "R102"]
+        assert "interval_ms" in finding.message
+
+    def test_matching_units_are_silent(self, tmp_path):
+        result = analyze_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def wait(delay_s):
+                        return delay_s
+
+                    def go(timeout_s):
+                        return wait(timeout_s)
+                """,
+            },
+        )
+        assert result.findings == []
+
+    def test_waiver_suppresses_r102(self, tmp_path):
+        result = analyze_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/mod.py": """
+                    def wait(delay_s):
+                        return delay_s
+
+                    def go(timeout_ms):
+                        return wait(timeout_ms)  # lint: ok(R102)
+                """,
+            },
+        )
+        assert result.findings == []
+
+    def test_malformed_units_toml_is_r100(self, tmp_path):
+        (tmp_path / "units.toml").write_text(
+            '[variables]\nnow = "parsecs"\n'
+        )
+        result = analyze_project(
+            tmp_path, {"pkg/__init__.py": "", "pkg/mod.py": "x = 1\n"}
+        )
+        [finding] = result.findings
+        assert finding.rule == "R100"
+        assert "parsecs" in finding.message
+
+
+# ---------------------------------------------------------------------------
+# R103 drift + baseline pairs
+
+
+DRIFT_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/fast.py": """
+        # drift: pair(speed) impl
+        def fast(x):
+            return x * 2
+    """,
+    "pkg/slow.py": """
+        # drift: pair(speed) ref
+        def slow(x):
+            return x + x
+    """,
+}
+
+
+def ack_pairs(tmp_path, files):
+    """Analyze once and acknowledge the current pair hashes."""
+    result = analyze_project(tmp_path, files)
+    baseline = load_baseline(tmp_path / ".repro-analyze-baseline.json")
+    baseline.pairs = dict(result.current_pairs)
+    save_baseline(tmp_path / ".repro-analyze-baseline.json", baseline)
+
+
+class TestDrift:
+    def test_unacknowledged_pair_fails(self, tmp_path):
+        result = analyze_project(tmp_path, DRIFT_FILES)
+        [finding] = result.findings
+        assert finding.rule == "R103"
+        assert "not acknowledged" in finding.message
+
+    def test_acknowledged_pair_is_clean(self, tmp_path):
+        ack_pairs(tmp_path, DRIFT_FILES)
+        result = analyze_project(tmp_path)
+        assert result.findings == []
+
+    def test_one_side_change_reports_drift(self, tmp_path):
+        ack_pairs(tmp_path, DRIFT_FILES)
+        (tmp_path / "pkg/slow.py").write_text(
+            "# drift: pair(speed) ref\ndef slow(x):\n    return 2 * x\n"
+        )
+        result = analyze_project(tmp_path)
+        [finding] = result.findings
+        assert finding.rule == "R103"
+        assert "'ref' side changed" in finding.message
+        assert "'impl' side did not" in finding.message
+        assert finding.file == "pkg/slow.py"
+
+    def test_both_sides_changed_needs_reack(self, tmp_path):
+        ack_pairs(tmp_path, DRIFT_FILES)
+        (tmp_path / "pkg/fast.py").write_text(
+            "# drift: pair(speed) impl\ndef fast(x):\n    return x * 3\n"
+        )
+        (tmp_path / "pkg/slow.py").write_text(
+            "# drift: pair(speed) ref\ndef slow(x):\n    return x + x + x\n"
+        )
+        result = analyze_project(tmp_path)
+        [finding] = result.findings
+        assert "both sides changed" in finding.message
+
+    def test_single_sided_pair_fails(self, tmp_path):
+        files = {k: v for k, v in DRIFT_FILES.items() if "slow" not in k}
+        result = analyze_project(tmp_path, files)
+        [finding] = result.findings
+        assert "only its 'impl' side" in finding.message
+
+    def test_stale_baseline_pair_fails(self, tmp_path):
+        ack_pairs(tmp_path, DRIFT_FILES)
+        (tmp_path / "pkg/fast.py").write_text("def fast(x):\n    return x\n")
+        (tmp_path / "pkg/slow.py").write_text("def slow(x):\n    return x\n")
+        result = analyze_project(tmp_path)
+        [finding] = result.findings
+        assert "no such markers exist" in finding.message
+
+    def test_comment_only_edit_does_not_drift(self, tmp_path):
+        ack_pairs(tmp_path, DRIFT_FILES)
+        (tmp_path / "pkg/slow.py").write_text(
+            "# drift: pair(speed) ref\n"
+            "def slow(x):\n"
+            "    # a brand new comment\n"
+            "    return x + x\n"
+        )
+        result = analyze_project(tmp_path)
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Baseline semantics (satellite: new fails / baselined passes / stale)
+
+
+class TestBaseline:
+    def _finding(self, message="boom"):
+        return Finding(
+            file="pkg/mod.py", line=3, rule="R101", message=message,
+            severity=Severity.ERROR,
+            chain=(Location("pkg/mod.py", 1, "root"),),
+        )
+
+    def test_new_finding_is_fresh(self):
+        fresh, matched, stale = apply_baseline(
+            [self._finding()], Baseline()
+        )
+        assert len(fresh) == 1 and matched == 0 and stale == []
+
+    def test_baselined_finding_passes(self):
+        finding = self._finding()
+        baseline = Baseline(findings={finding.fingerprint(): "known"})
+        fresh, matched, stale = apply_baseline([finding], baseline)
+        assert fresh == [] and matched == 1 and stale == []
+
+    def test_fingerprint_survives_line_moves(self):
+        import dataclasses
+
+        moved = dataclasses.replace(self._finding(), line=99, chain=())
+        assert moved.fingerprint() == self._finding().fingerprint()
+
+    def test_stale_entry_reported_as_warning(self):
+        baseline = Baseline(findings={"deadbeefdeadbeefdeadbeef": "gone"})
+        fresh, matched, stale = apply_baseline([], baseline)
+        [warning] = stale
+        assert warning.severity is Severity.WARNING
+        assert "stale baseline entry" in warning.message
+
+    def test_roundtrip_via_file(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(
+            path,
+            Baseline(
+                findings={"abc": "hint"},
+                pairs={"p": {"impl": "1", "ref": "2"}},
+            ),
+        )
+        loaded = load_baseline(path)
+        assert loaded.findings == {"abc": "hint"}
+        assert loaded.pairs == {"p": {"impl": "1", "ref": "2"}}
+
+
+# ---------------------------------------------------------------------------
+# SARIF output (satellite)
+
+
+class TestSarif:
+    def _document(self, tmp_path):
+        files = dict(TAINT_FILES)
+        files["pkg/clocky.py"] = files["pkg/clocky.py"].replace(
+            "  # lint: ok(R001)", ""
+        )
+        result = analyze_project(
+            tmp_path, files, roots=["pkg.core.Sim.run"]
+        )
+        return sarif_document(result.findings), result.findings
+
+    def test_document_shape(self, tmp_path):
+        doc, _findings = self._document(tmp_path)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        [run] = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+
+    def test_rule_ids_are_stable(self, tmp_path):
+        doc, _findings = self._document(tmp_path)
+        [run] = doc["runs"]
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert ids == ["R100", "R101", "R102", "R103"]
+        for result in run["results"]:
+            assert result["ruleId"] in ids
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_chain_rendered_as_related_locations(self, tmp_path):
+        doc, findings = self._document(tmp_path)
+        [run] = doc["runs"]
+        [result] = [
+            r for r in run["results"] if r["ruleId"] == "R101"
+        ]
+        related = result["relatedLocations"]
+        labels = [loc["message"]["text"] for loc in related]
+        assert labels == [
+            "pkg.core.Sim.run", "pkg.core.Sim.tick", "pkg.clocky.stamp"
+        ]
+        for loc in related:
+            physical = loc["physicalLocation"]
+            assert physical["artifactLocation"]["uri"]
+            assert physical["region"]["startLine"] >= 1
+
+    def test_fingerprints_match_baseline_identity(self, tmp_path):
+        doc, findings = self._document(tmp_path)
+        [run] = doc["runs"]
+        fingerprints = {
+            r["fingerprints"]["reproAnalyze/v1"] for r in run["results"]
+        }
+        assert fingerprints == {f.fingerprint() for f in findings}
+
+    def test_document_is_json_serializable(self, tmp_path):
+        doc, _findings = self._document(tmp_path)
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["runs"][0]["results"]
+
+
+# ---------------------------------------------------------------------------
+# Cache
+
+
+class TestCache:
+    def test_warm_run_skips_parsing(self, tmp_path):
+        write_project(tmp_path, DRIFT_FILES)
+        cold = analyze_project(tmp_path, use_cache=True)
+        warm = analyze_project(tmp_path, use_cache=True)
+        assert cold.parsed == cold.modules
+        assert warm.cached == warm.modules and warm.parsed == 0
+        assert [f.message for f in warm.findings] == [
+            f.message for f in cold.findings
+        ]
+
+    def test_edit_invalidates_only_that_module(self, tmp_path):
+        write_project(tmp_path, DRIFT_FILES)
+        analyze_project(tmp_path, use_cache=True)
+        (tmp_path / "pkg/fast.py").write_text(
+            "# drift: pair(speed) impl\ndef fast(x):\n    return x * 9\n"
+        )
+        warm = analyze_project(tmp_path, use_cache=True)
+        assert warm.parsed == 1
+        assert warm.cached == warm.modules - 1
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        write_project(tmp_path, DRIFT_FILES)
+        (tmp_path / ".repro-analyze-cache.json").write_text("{nope")
+        result = analyze_project(tmp_path, use_cache=True)
+        assert result.parsed == result.modules
+
+
+# ---------------------------------------------------------------------------
+# The real tree
+
+
+class TestRealTree:
+    def test_repo_tree_is_clean(self):
+        from repro.devtools.config import load_analyze_config
+
+        config = load_analyze_config(REPO_ROOT / "pyproject.toml")
+        result = analyze_tree(
+            [str(REPO_ROOT / "src" / "repro")],
+            config,
+            base=REPO_ROOT,
+            use_cache=False,
+        )
+        errors = [
+            f for f in result.findings if f.severity is Severity.ERROR
+        ]
+        assert errors == [], "\n".join(f.format() for f in errors)
+
+    def test_removing_profiling_exclusion_surfaces_chain(self):
+        from repro.devtools.config import load_analyze_config
+
+        config = load_analyze_config(REPO_ROOT / "pyproject.toml")
+        config.exclude = {}
+        result = analyze_tree(
+            [str(REPO_ROOT / "src" / "repro")],
+            config,
+            base=REPO_ROOT,
+            use_cache=False,
+        )
+        taint = [f for f in result.findings if f.rule == "R101"]
+        assert taint, "expected profiling wall-clock reads to surface"
+        assert all(
+            f.file == "src/repro/simulation/profiling.py" for f in taint
+        )
+        assert all(len(f.chain) >= 2 for f in taint)
+
+    def test_mutating_reference_method_fails_r103(self, tmp_path):
+        # The acceptance demo: copy the real tree, edit a FlowCall
+        # reference method without touching the inlined loop, and the
+        # drift rule must fail.
+        shutil.copytree(
+            REPO_ROOT / "src" / "repro", tmp_path / "src" / "repro"
+        )
+        for name in ("units.toml", ".repro-analyze-baseline.json"):
+            shutil.copy(REPO_ROOT / name, tmp_path / name)
+        session = tmp_path / "src/repro/flow/session.py"
+        text = session.read_text()
+        needle = "return max(int(size), _MIN_FRAME_BYTES), is_key"
+        assert needle in text
+        session.write_text(
+            text.replace(
+                needle, "return max(int(size) + 1, _MIN_FRAME_BYTES), is_key"
+            )
+        )
+        config = AnalyzeConfig()
+        result = analyze_tree(
+            [str(tmp_path / "src" / "repro")],
+            config,
+            base=tmp_path,
+            use_cache=False,
+        )
+        drifted = [
+            f
+            for f in result.findings
+            if f.rule == "R103" and "flow-single-stream" in f.message
+        ]
+        [finding] = drifted
+        assert "'ref' side changed" in finding.message
+
+    def test_declared_pairs_match_acknowledged_hashes(self):
+        config = AnalyzeConfig()
+        result = analyze_tree(
+            [str(REPO_ROOT / "src" / "repro")],
+            config,
+            base=REPO_ROOT,
+            use_cache=False,
+        )
+        baseline = load_baseline(
+            REPO_ROOT / ".repro-analyze-baseline.json"
+        )
+        assert set(result.current_pairs) == {
+            "flow-batch", "flow-controller", "flow-single-stream"
+        }
+        assert result.current_pairs == baseline.pairs
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def write_cli_project(tmp_path, files, roots):
+    write_project(tmp_path, files)
+    roots_toml = ", ".join(f'"{r}"' for r in roots)
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-analyze]\n"
+        'paths = ["pkg"]\n'
+        f"roots = [{roots_toml}]\n"
+    )
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_cli_project(
+            tmp_path,
+            {"pkg/__init__.py": "", "pkg/mod.py": "def f():\n    return 1\n"},
+            roots=["pkg.mod.f"],
+        )
+        code = main(["--config", str(tmp_path / "pyproject.toml")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro analyze: clean" in out
+        assert "module(s)" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        files = dict(TAINT_FILES)
+        files["pkg/clocky.py"] = files["pkg/clocky.py"].replace(
+            "  # lint: ok(R001)", ""
+        )
+        write_cli_project(tmp_path, files, roots=["pkg.core.Sim.run"])
+        code = main(["--config", str(tmp_path / "pyproject.toml")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "R101" in out
+        assert "->" in out  # the rendered chain
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-analyze]\npaths = ["nowhere"]\n'
+        )
+        code = main(["--config", str(tmp_path / "pyproject.toml")])
+        assert code == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        write_cli_project(
+            tmp_path,
+            {"pkg/__init__.py": "", "pkg/mod.py": "def f():\n    return 1\n"},
+            roots=["pkg.mod.f"],
+        )
+        code = main(
+            ["--config", str(tmp_path / "pyproject.toml"), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["tool"] == "repro-analyze"
+        assert payload["errors"] == 0
+        assert payload["stats"]["modules"] == 2
+
+    def test_sarif_format(self, tmp_path, capsys):
+        files = dict(TAINT_FILES)
+        files["pkg/clocky.py"] = files["pkg/clocky.py"].replace(
+            "  # lint: ok(R001)", ""
+        )
+        write_cli_project(tmp_path, files, roots=["pkg.core.Sim.run"])
+        code = main(
+            [
+                "--config", str(tmp_path / "pyproject.toml"),
+                "--format", "sarif",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        files = dict(TAINT_FILES)
+        files["pkg/clocky.py"] = files["pkg/clocky.py"].replace(
+            "  # lint: ok(R001)", ""
+        )
+        write_cli_project(tmp_path, files, roots=["pkg.core.Sim.run"])
+        config = ["--config", str(tmp_path / "pyproject.toml")]
+        assert main(config) == 1
+        capsys.readouterr()
+        assert main([*config, "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(config) == 0
+
+    def test_update_pairs_acknowledges(self, tmp_path, capsys):
+        write_cli_project(tmp_path, DRIFT_FILES, roots=[])
+        config = ["--config", str(tmp_path / "pyproject.toml")]
+        assert main(config) == 1
+        capsys.readouterr()
+        assert main([*config, "--update-pairs"]) == 0
+        capsys.readouterr()
+        assert main(config) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R100", "R101", "R102", "R103"):
+            assert rule_id in out
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+
+        write_cli_project(
+            tmp_path,
+            {"pkg/__init__.py": "", "pkg/mod.py": "def f():\n    return 1\n"},
+            roots=["pkg.mod.f"],
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.devtools.analyze",
+                "--config", str(tmp_path / "pyproject.toml"),
+            ],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "repro analyze: clean" in proc.stdout

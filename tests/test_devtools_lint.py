@@ -398,6 +398,60 @@ class TestClosureCapture:
             "order = sorted(items, key=lambda item: item.start)\n"
         ) == []
 
+    # functools.partial must not launder a closure past the rule
+    # (regression: found while building the R103 drift pass).
+
+    def test_partial_wrapping_lambda_to_submit_fires(self):
+        assert rules_fired(
+            """
+            from functools import partial
+            def sweep(pool, cell):
+                return pool.submit(partial(lambda: cell.run()))
+            """
+        ) == ["R006"]
+
+    def test_partial_wrapping_nested_function_to_submit_fires(self):
+        assert rules_fired(
+            """
+            import functools
+            def sweep(pool, cell):
+                def work(seed):
+                    return cell.run(seed)
+                return pool.submit(functools.partial(work, 7))
+            """
+        ) == ["R006"]
+
+    def test_partial_wrapping_lambda_into_schedule_fires(self):
+        assert rules_fired(
+            """
+            from functools import partial
+            def arm(sim, event):
+                sim.schedule_at(event.start, partial(lambda: apply(event)))
+            """
+        ) == ["R006"]
+
+    def test_partial_wrapping_nested_function_into_event_fires(self):
+        assert rules_fired(
+            """
+            from functools import partial
+            def arm(sim, event):
+                def fire():
+                    apply(event)
+                sim.schedule(Event(event.start, partial(fire)))
+            """
+        ) == ["R006"]
+
+    def test_partial_of_module_level_function_is_clean(self):
+        assert rules_fired(
+            """
+            from functools import partial
+            def work(cell, seed):
+                return cell.run(seed)
+            def sweep(pool, cell):
+                return pool.submit(partial(work, cell, 7))
+            """
+        ) == []
+
 
 # ---------------------------------------------------------------------------
 # R007 — mutable default arguments
